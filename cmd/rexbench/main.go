@@ -1,0 +1,59 @@
+// Command rexbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rexbench -exp fig1           # one artifact (scaled-down workload)
+//	rexbench -exp all -full      # everything at paper scale (slow)
+//	rexbench -list               # enumerate artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rex/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
+		full   = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		points = flag.Int("points", 12, "series rows printed per curve")
+		list   = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := experiments.Params{Full: *full, Seed: *seed, Out: os.Stdout, Points: *points}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		if err := e.Run(params); err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rexbench: unknown experiment %q; available: %v\n", *exp, experiments.IDs())
+		os.Exit(2)
+	}
+	run(e)
+}

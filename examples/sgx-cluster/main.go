@@ -1,0 +1,84 @@
+// sgx-cluster runs a *live* 8-node fully connected REX deployment in one
+// process — the paper's §IV-C experiment shape: two enclaves per platform,
+// mutual attestation between all 28 pairs before any data moves, AES-GCM
+// sealed raw-data gossip, and a comparison against the unprotected
+// "native" build of the same code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"rex"
+)
+
+func main() {
+	var (
+		epochs = flag.Int("epochs", 40, "training epochs")
+		seed   = flag.Int64("seed", 9, "run seed")
+		scale  = flag.Float64("scale", 0.1, "dataset scale factor")
+	)
+	flag.Parse()
+
+	const nodes = 8
+	spec := rex.MovieLensLatest().Scaled(*scale)
+	spec.Seed = *seed
+	ds := rex.GenerateMovieLens(spec)
+	train, test := ds.SplitPerUser(0.7, rand.New(rand.NewSource(*seed)))
+	trainParts, err := train.PartitionUsersAcross(nodes, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	testParts, err := test.PartitionUsersAcross(nodes, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph := rex.FullyConnected(nodes)
+	mfCfg := rex.DefaultMFConfig()
+
+	build := func(mode rex.Mode) []*rex.Node {
+		out := make([]*rex.Node, nodes)
+		for i := range out {
+			out[i] = rex.NewNode(rex.NodeConfig{
+				ID: i, Mode: mode, Algo: rex.DPSGD,
+				StepsPerEpoch: 300, SharePoints: 100, Seed: *seed,
+			}, rex.NewMF(mfCfg), trainParts[i], testParts[i])
+		}
+		return out
+	}
+
+	run := func(name string, mode rex.Mode, secure bool) {
+		start := time.Now()
+		stats, err := rex.RunCluster(rex.ClusterConfig{
+			Graph: graph, Nodes: build(mode), Epochs: *epochs,
+			Secure:           secure,
+			NodesPerPlatform: 2, // paper: 2 processes per SGX machine
+			NewModel:         func() rex.Model { return rex.NewMF(mfCfg) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rmse float64
+		var in, out int64
+		var attested int
+		for _, s := range stats {
+			rmse += s.FinalRMSE / float64(len(stats))
+			in += s.BytesIn
+			out += s.BytesOut
+			attested += s.Attested
+		}
+		fmt.Printf("%-22s mean RMSE %.4f | wall %7v | traffic in+out %9d B | attestations %2d\n",
+			name, rmse, time.Since(start).Round(time.Millisecond), in+out, attested/2)
+	}
+
+	fmt.Printf("live 8-node fully connected cluster, %d epochs, D-PSGD\n\n", *epochs)
+	run("REX (attested, AES-GCM)", rex.DataSharing, true)
+	run("native, data sharing", rex.DataSharing, false)
+	run("secure model sharing", rex.ModelSharing, true)
+	run("native model sharing", rex.ModelSharing, false)
+	fmt.Println("\nraw-data payloads are two orders of magnitude smaller than models;")
+	fmt.Println("encryption+attestation add little — the paper's Fig 6 story, live.")
+}

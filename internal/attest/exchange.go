@@ -1,0 +1,181 @@
+package attest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"rex/internal/seccha"
+)
+
+// Exchange drives one side of REX's mutual attestation (paper §III-A):
+//
+//  1. both peers exchange fresh nonces (hello);
+//  2. each peer obtains a quote over a report whose user-data field holds
+//     its ECDH public key and a hash binding the peer's nonce (freshness);
+//  3. each peer DCAP-verifies the other's quote, requires the measurement
+//     to equal its own (all REX nodes run identical code), and combines the
+//     quoted public key with its private key into the shared channel key.
+//
+// After Complete() returns true, ChannelKey() yields the symmetric key for
+// the encrypted session.
+type Exchange struct {
+	platform *Platform
+	inf      *Infrastructure
+	meas     Measurement
+	kp       *seccha.KeyPair
+
+	localNonce    [16]byte
+	peerNonce     [16]byte
+	havePeerNonce bool
+
+	peerPub  []byte
+	peerMeas Measurement
+	done     bool
+}
+
+// helloMsg and quoteMsg are the two wire messages, serialized as JSON just
+// like the paper's implementation (§III-E). Attestation traffic is
+// deliberately cleartext: it carries no secrets, and forgeries fail
+// verification (paper Algorithm 1 commentary).
+type helloMsg struct {
+	Type  string `json:"type"`
+	Nonce []byte `json:"nonce"`
+}
+
+type quoteMsg struct {
+	Type  string          `json:"type"`
+	Quote json.RawMessage `json:"quote"`
+}
+
+// NewExchange prepares an attestation exchange for an enclave with the
+// given measurement hosted on platform p; entropy for the ECDH key and
+// nonce is read from rand.
+func NewExchange(p *Platform, inf *Infrastructure, meas Measurement, rand io.Reader) (*Exchange, error) {
+	kp, err := seccha.GenerateKeyPair(rand)
+	if err != nil {
+		return nil, err
+	}
+	e := &Exchange{platform: p, inf: inf, meas: meas, kp: kp}
+	if _, err := io.ReadFull(rand, e.localNonce[:]); err != nil {
+		return nil, fmt.Errorf("attest: nonce: %w", err)
+	}
+	return e, nil
+}
+
+// Hello produces this side's opening message.
+func (e *Exchange) Hello() ([]byte, error) {
+	return json.Marshal(helloMsg{Type: "hello", Nonce: e.localNonce[:]})
+}
+
+// binding derives the freshness hash placed in user-data alongside the
+// ECDH key: H("rex-attest" ‖ peerNonce ‖ pubkey).
+func binding(peerNonce, pub []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("rex-attest-v1"))
+	h.Write(peerNonce)
+	h.Write(pub)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// HandleMessage processes one inbound attestation message and returns the
+// response to send (nil when the exchange needs no further output).
+func (e *Exchange) HandleMessage(raw []byte) ([]byte, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("attest: undecodable message: %w", err)
+	}
+	switch probe.Type {
+	case "hello":
+		var h helloMsg
+		if err := json.Unmarshal(raw, &h); err != nil {
+			return nil, err
+		}
+		if len(h.Nonce) != len(e.peerNonce) {
+			return nil, fmt.Errorf("attest: bad nonce length %d", len(h.Nonce))
+		}
+		copy(e.peerNonce[:], h.Nonce)
+		e.havePeerNonce = true
+		return e.buildQuote()
+	case "quote":
+		var q quoteMsg
+		if err := json.Unmarshal(raw, &q); err != nil {
+			return nil, err
+		}
+		return nil, e.verifyQuote(q.Quote)
+	default:
+		return nil, fmt.Errorf("attest: unknown message type %q", probe.Type)
+	}
+}
+
+func (e *Exchange) buildQuote() ([]byte, error) {
+	if !e.havePeerNonce {
+		return nil, errors.New("attest: quote requested before hello")
+	}
+	var ud [UserDataSize]byte
+	pub := e.kp.PublicKey()
+	copy(ud[:32], pub)
+	b := binding(e.peerNonce[:], pub)
+	copy(ud[32:], b[:])
+	report := e.platform.CreateReport(e.meas, ud)
+	quote, err := e.platform.QuoteReport(report)
+	if err != nil {
+		return nil, err
+	}
+	qb, err := quote.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(quoteMsg{Type: "quote", Quote: qb})
+}
+
+// Attestation failure modes surfaced to callers.
+var (
+	ErrMeasurementMismatch = errors.New("attest: peer runs different code (measurement mismatch)")
+	ErrStaleQuote          = errors.New("attest: quote does not bind our nonce (possible replay)")
+)
+
+func (e *Exchange) verifyQuote(raw []byte) error {
+	q, err := UnmarshalQuote(raw)
+	if err != nil {
+		return err
+	}
+	if err := e.inf.VerifyQuote(q); err != nil {
+		return err
+	}
+	// REX policy: the peer must run the exact same code we do (§III-A).
+	if q.Report.Measurement != e.meas {
+		return ErrMeasurementMismatch
+	}
+	pub := q.Report.UserData[:32]
+	want := binding(e.localNonce[:], pub)
+	if !bytes.Equal(q.Report.UserData[32:], want[:]) {
+		return ErrStaleQuote
+	}
+	e.peerPub = append([]byte(nil), pub...)
+	e.peerMeas = q.Report.Measurement
+	e.done = true
+	return nil
+}
+
+// Complete reports whether the peer has been fully attested.
+func (e *Exchange) Complete() bool { return e.done }
+
+// ChannelKey derives the symmetric session key once attestation completed.
+func (e *Exchange) ChannelKey() ([]byte, error) {
+	if !e.done {
+		return nil, errors.New("attest: exchange not complete")
+	}
+	secret, err := e.kp.SharedSecret(e.peerPub)
+	if err != nil {
+		return nil, err
+	}
+	return seccha.ChannelKey(secret, e.meas[:], e.peerMeas[:]), nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rex/internal/dataset"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+)
+
+func mkNode(t *testing.T, mode Mode, algo gossip.Algo, train []dataset.Rating) *Node {
+	t.Helper()
+	cfg := Config{ID: 0, Mode: mode, Algo: algo, StepsPerEpoch: 100, SharePoints: 5, Seed: 1}
+	return NewNode(cfg, mf.New(mf.DefaultConfig()), train, []dataset.Rating{{User: 0, Item: 1, Value: 3}})
+}
+
+func someRatings(n int, seed int64) []dataset.Rating {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dataset.Rating, n)
+	for i := range out {
+		out[i] = dataset.Rating{
+			User:  uint32(rng.Intn(20)),
+			Item:  uint32(i), // distinct items: no dedup collisions
+			Value: float32(rng.Intn(10)+1) / 2,
+		}
+	}
+	return out
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"ms", ModelSharing}, {"MS", ModelSharing}, {"model", ModelSharing},
+		{"rex", DataSharing}, {"REX", DataSharing}, {"ds", DataSharing}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if ModelSharing.String() != "MS" || DataSharing.String() != "REX" {
+		t.Fatal("mode names drifted")
+	}
+}
+
+func TestTrainFixedSteps(t *testing.T) {
+	n := mkNode(t, DataSharing, gossip.DPSGD, someRatings(50, 1))
+	if steps := n.Train(); steps != 100 {
+		t.Fatalf("steps = %d want 100", steps)
+	}
+	if n.Epoch() != 1 {
+		t.Fatalf("epoch = %d", n.Epoch())
+	}
+}
+
+func TestTrainFullPass(t *testing.T) {
+	cfg := Config{ID: 0, Mode: DataSharing, Algo: gossip.DPSGD, StepsPerEpoch: 0, SharePoints: 5, Seed: 1}
+	n := NewNode(cfg, mf.New(mf.DefaultConfig()), someRatings(37, 2), nil)
+	if steps := n.Train(); steps != 37 {
+		t.Fatalf("full pass ran %d steps, want 37", steps)
+	}
+}
+
+func TestTrainEmptyStore(t *testing.T) {
+	n := mkNode(t, DataSharing, gossip.DPSGD, nil)
+	if steps := n.Train(); steps != 0 {
+		t.Fatalf("trained on empty store: %d steps", steps)
+	}
+}
+
+func TestMergeDataSharing(t *testing.T) {
+	n := mkNode(t, DataSharing, gossip.DPSGD, someRatings(10, 3))
+	alien := someRatings(10, 3) // identical: all duplicates
+	fresh := []dataset.Rating{{User: 99, Item: 99, Value: 5}}
+	st := n.Merge([]Payload{
+		{From: 1, Degree: 2, Data: alien},
+		{From: 2, Degree: 2, Data: fresh},
+	}, 3)
+	if st.PointsAppended != 1 {
+		t.Fatalf("appended %d, want 1", st.PointsAppended)
+	}
+	if st.PointsDuplicate != 10 {
+		t.Fatalf("duplicates %d, want 10", st.PointsDuplicate)
+	}
+	if !n.Store.Contains(99, 99) {
+		t.Fatal("fresh point not stored")
+	}
+}
+
+func TestMergeModelSharingDPSGD(t *testing.T) {
+	n := mkNode(t, ModelSharing, gossip.DPSGD, someRatings(20, 4))
+	n.Train()
+	alien := mf.New(mf.DefaultConfig())
+	alien.Train(someRatings(20, 5), 300, rand.New(rand.NewSource(6)))
+	before := n.Model.ParamCount()
+	st := n.Merge([]Payload{{From: 1, Degree: 4, Model: alien}}, 2)
+	if st.ModelsMerged != 1 {
+		t.Fatalf("merged %d models", st.ModelsMerged)
+	}
+	if n.Model.ParamCount() < before {
+		t.Fatal("merge lost parameters")
+	}
+}
+
+func TestMergeEmptyPayloads(t *testing.T) {
+	n := mkNode(t, ModelSharing, gossip.RMW, someRatings(10, 7))
+	st := n.Merge([]Payload{{From: 1, Degree: 1}}, 1) // empty notification
+	if st.ModelsMerged != 0 || st.PointsAppended != 0 {
+		t.Fatalf("empty payload did something: %+v", st)
+	}
+	if st := n.Merge(nil, 1); st.ModelsMerged != 0 {
+		t.Fatal("nil payloads merged models")
+	}
+}
+
+func TestMergeRMWPairwise(t *testing.T) {
+	n := mkNode(t, ModelSharing, gossip.RMW, someRatings(20, 8))
+	n.Train()
+	a := mf.New(mf.DefaultConfig())
+	a.Train(someRatings(20, 9), 200, rand.New(rand.NewSource(10)))
+	b := mf.New(mf.DefaultConfig())
+	b.Train(someRatings(20, 11), 200, rand.New(rand.NewSource(12)))
+	st := n.Merge([]Payload{{From: 1, Degree: 1, Model: a}, {From: 2, Degree: 1, Model: b}}, 3)
+	if st.ModelsMerged != 2 {
+		t.Fatalf("merged %d", st.ModelsMerged)
+	}
+}
+
+func TestShareDataSamplesStore(t *testing.T) {
+	n := mkNode(t, DataSharing, gossip.DPSGD, someRatings(50, 13))
+	p := n.Share(4, false)
+	if p.Model != nil {
+		t.Fatal("data-sharing payload carries a model")
+	}
+	if len(p.Data) != 5 {
+		t.Fatalf("shared %d points, want SharePoints=5", len(p.Data))
+	}
+	if p.Degree != 4 || p.From != 0 {
+		t.Fatalf("payload header: %+v", p)
+	}
+}
+
+func TestShareModelCloneSemantics(t *testing.T) {
+	n := mkNode(t, ModelSharing, gossip.DPSGD, someRatings(50, 14))
+	n.Train()
+	ref := n.Share(2, false)
+	if ref.Model != n.Model {
+		t.Fatal("cloneModel=false must hand out the live model")
+	}
+	cl := n.Share(2, true)
+	if cl.Model == n.Model {
+		t.Fatal("cloneModel=true returned the live model")
+	}
+}
+
+func TestPayloadWireSize(t *testing.T) {
+	n := mkNode(t, DataSharing, gossip.DPSGD, someRatings(50, 15))
+	p := n.Share(2, false)
+	want := 12 + 4 + len(p.Data)*dataset.EncodedSize
+	if got := PayloadWireSize(p); got != want {
+		t.Fatalf("data wire %d want %d", got, want)
+	}
+	empty := Payload{From: 1, Degree: 2}
+	if got := PayloadWireSize(empty); got != 16 {
+		t.Fatalf("empty wire %d want 16", got)
+	}
+	m := mf.New(mf.DefaultConfig())
+	m.Train(someRatings(5, 16), 50, rand.New(rand.NewSource(17)))
+	mp := Payload{From: 1, Degree: 2, Model: m}
+	if got := PayloadWireSize(mp); got != 12+m.WireSize() {
+		t.Fatalf("model wire %d want %d", got, 12+m.WireSize())
+	}
+}
+
+func TestUniformMergeAblation(t *testing.T) {
+	cfg := Config{ID: 0, Mode: ModelSharing, Algo: gossip.DPSGD, StepsPerEpoch: 50, Seed: 1, UniformMerge: true}
+	n := NewNode(cfg, mf.New(mf.DefaultConfig()), someRatings(20, 18), nil)
+	n.Train()
+	alien := mf.New(mf.DefaultConfig())
+	alien.Train(someRatings(20, 19), 100, rand.New(rand.NewSource(20)))
+	st := n.Merge([]Payload{{From: 1, Degree: 99, Model: alien}}, 1)
+	if st.ModelsMerged != 1 {
+		t.Fatal("uniform merge skipped the model")
+	}
+}
+
+func TestTestRMSEAndMemory(t *testing.T) {
+	n := mkNode(t, DataSharing, gossip.DPSGD, someRatings(30, 21))
+	n.Train()
+	r := n.TestRMSE()
+	if r <= 0 || r > 5 {
+		t.Fatalf("rmse %v", r)
+	}
+	if n.MemoryBytes() <= 0 {
+		t.Fatal("no memory accounted")
+	}
+}
+
+func TestNodeRNGDeterministic(t *testing.T) {
+	a := mkNode(t, DataSharing, gossip.DPSGD, someRatings(30, 22))
+	b := mkNode(t, DataSharing, gossip.DPSGD, someRatings(30, 22))
+	if a.RNG().Int63() != b.RNG().Int63() {
+		t.Fatal("equal configs produced different rng streams")
+	}
+}

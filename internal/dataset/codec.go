@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeRatings serializes ratings into the compact 12-byte-per-triplet wire
+// format exchanged between REX nodes: little-endian uint32 user, uint32
+// item, float32 value, preceded by a uint32 count.
+func EncodeRatings(rs []Rating) []byte {
+	buf := make([]byte, 4+len(rs)*EncodedSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(rs)))
+	off := 4
+	for _, r := range rs {
+		binary.LittleEndian.PutUint32(buf[off:], r.User)
+		binary.LittleEndian.PutUint32(buf[off+4:], r.Item)
+		binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(r.Value))
+		off += EncodedSize
+	}
+	return buf
+}
+
+// DecodeRatings parses the format produced by EncodeRatings and returns the
+// ratings along with the number of bytes consumed.
+func DecodeRatings(buf []byte) ([]Rating, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("dataset: short buffer %d", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	need := 4 + n*EncodedSize
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("dataset: buffer %d too short for %d ratings", len(buf), n)
+	}
+	rs := make([]Rating, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		rs[i] = Rating{
+			User:  binary.LittleEndian.Uint32(buf[off:]),
+			Item:  binary.LittleEndian.Uint32(buf[off+4:]),
+			Value: math.Float32frombits(binary.LittleEndian.Uint32(buf[off+8:])),
+		}
+		off += EncodedSize
+	}
+	return rs, need, nil
+}

@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundtrip(t *testing.T) {
+	rs := mkRatings(137, 12, 77, 1)
+	buf := EncodeRatings(rs)
+	if len(buf) != 4+len(rs)*EncodedSize {
+		t.Fatalf("encoded size %d", len(buf))
+	}
+	got, n, err := DecodeRatings(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("decoded %d of %d", len(got), len(rs))
+	}
+	for i := range rs {
+		if got[i] != rs[i] {
+			t.Fatalf("rating %d: %+v != %+v", i, got[i], rs[i])
+		}
+	}
+}
+
+func TestCodecRoundtripProperty(t *testing.T) {
+	f := func(users, items []uint32, values []float32) bool {
+		n := len(users)
+		if len(items) < n {
+			n = len(items)
+		}
+		if len(values) < n {
+			n = len(values)
+		}
+		rs := make([]Rating, n)
+		for i := 0; i < n; i++ {
+			v := values[i]
+			if math.IsNaN(float64(v)) {
+				v = 0 // NaN != NaN breaks equality; value fidelity is bit-level anyway
+			}
+			rs[i] = Rating{User: users[i], Item: items[i], Value: v}
+		}
+		got, _, err := DecodeRatings(EncodeRatings(rs))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range rs {
+			if got[i] != rs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	got, n, err := DecodeRatings(EncodeRatings(nil))
+	if err != nil || len(got) != 0 || n != 4 {
+		t.Fatalf("empty roundtrip: %v %d %v", got, n, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeRatings([]byte{1, 2}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	buf := EncodeRatings(mkRatings(3, 4, 4, 2))
+	if _, _, err := DecodeRatings(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Package dataset provides the rating-triplet data model used throughout
+// REX: datasets, train/test splitting, node partitioning (one user per node
+// or multiple users per node), and the deduplicating raw-data store that
+// each enclave keeps in protected memory (paper §III-B, Algorithm 2 line 16).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Rating is one user-item interaction: the triplet <user, item, value>
+// described in paper §II-A. Values are star ratings in [0.5, 5.0] in steps
+// of 0.5 for MovieLens-shaped data, but the type imposes no range.
+type Rating struct {
+	User  uint32
+	Item  uint32
+	Value float32
+}
+
+// Key returns a unique 64-bit identity for the (user, item) pair. Two
+// ratings with equal keys describe the same interaction; later values
+// supersede earlier ones on append.
+func (r Rating) Key() uint64 { return uint64(r.User)<<32 | uint64(r.Item) }
+
+// EncodedSize is the wire size of one rating triplet: two uint32 ids plus a
+// float32 value. This is the unit the paper contrasts against model
+// parameters when arguing raw data is small (§IV-B).
+const EncodedSize = 12
+
+// Dataset is an immutable collection of ratings together with the id-space
+// bounds, mirroring the user-item matrix A in paper §II-A.
+type Dataset struct {
+	Ratings  []Rating
+	NumUsers int // user ids are < NumUsers
+	NumItems int // item ids are < NumItems
+}
+
+// New builds a Dataset from ratings, deriving NumUsers/NumItems from the
+// maximum ids present. The ratings slice is retained, not copied.
+func New(ratings []Rating) *Dataset {
+	var maxU, maxI uint32
+	for _, r := range ratings {
+		if r.User > maxU {
+			maxU = r.User
+		}
+		if r.Item > maxI {
+			maxI = r.Item
+		}
+	}
+	n := 0
+	if len(ratings) > 0 {
+		n = int(maxU) + 1
+	}
+	m := 0
+	if len(ratings) > 0 {
+		m = int(maxI) + 1
+	}
+	return &Dataset{Ratings: ratings, NumUsers: n, NumItems: m}
+}
+
+// Len returns the number of ratings.
+func (d *Dataset) Len() int { return len(d.Ratings) }
+
+// Mean returns the global mean rating, the natural zero-knowledge predictor
+// used to initialize bias terms.
+func (d *Dataset) Mean() float64 {
+	if len(d.Ratings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range d.Ratings {
+		s += float64(r.Value)
+	}
+	return s / float64(len(d.Ratings))
+}
+
+// Validate checks internal consistency: ids within bounds and no NaN values.
+func (d *Dataset) Validate() error {
+	for i, r := range d.Ratings {
+		if int(r.User) >= d.NumUsers {
+			return fmt.Errorf("dataset: rating %d user %d out of range %d", i, r.User, d.NumUsers)
+		}
+		if int(r.Item) >= d.NumItems {
+			return fmt.Errorf("dataset: rating %d item %d out of range %d", i, r.Item, d.NumItems)
+		}
+		if r.Value != r.Value { // NaN
+			return fmt.Errorf("dataset: rating %d has NaN value", i)
+		}
+	}
+	return nil
+}
+
+// Split partitions the ratings into train and test sets with the given
+// train fraction (the paper uses 70/30, §IV-A3a). The split is performed on
+// a shuffled copy so both halves are unbiased; the receiver is unmodified.
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	if trainFrac < 0 || trainFrac > 1 {
+		panic("dataset: trainFrac must be in [0,1]")
+	}
+	idx := rng.Perm(len(d.Ratings))
+	cut := int(float64(len(d.Ratings)) * trainFrac)
+	tr := make([]Rating, 0, cut)
+	te := make([]Rating, 0, len(d.Ratings)-cut)
+	for pos, i := range idx {
+		if pos < cut {
+			tr = append(tr, d.Ratings[i])
+		} else {
+			te = append(te, d.Ratings[i])
+		}
+	}
+	train = &Dataset{Ratings: tr, NumUsers: d.NumUsers, NumItems: d.NumItems}
+	test = &Dataset{Ratings: te, NumUsers: d.NumUsers, NumItems: d.NumItems}
+	return train, test
+}
+
+// SplitPerUser splits each user's ratings individually with the given train
+// fraction, guaranteeing every user with >=2 ratings appears in both halves.
+// This matches the decentralized setting where each node must hold local
+// test data (Algorithm 2 line 21).
+func (d *Dataset) SplitPerUser(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	byUser := make(map[uint32][]Rating)
+	for _, r := range d.Ratings {
+		byUser[r.User] = append(byUser[r.User], r)
+	}
+	users := make([]uint32, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	var tr, te []Rating
+	for _, u := range users {
+		rs := byUser[u]
+		rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+		cut := int(float64(len(rs)) * trainFrac)
+		if cut == len(rs) && len(rs) > 1 {
+			cut = len(rs) - 1 // keep at least one test rating
+		}
+		if cut == 0 && len(rs) > 1 {
+			cut = 1 // keep at least one train rating
+		}
+		tr = append(tr, rs[:cut]...)
+		te = append(te, rs[cut:]...)
+	}
+	train = &Dataset{Ratings: tr, NumUsers: d.NumUsers, NumItems: d.NumItems}
+	test = &Dataset{Ratings: te, NumUsers: d.NumUsers, NumItems: d.NumItems}
+	return train, test
+}
+
+// ErrNoRatings is returned by partitioners handed an empty dataset.
+var ErrNoRatings = errors.New("dataset: no ratings to partition")
+
+// PartitionPerUser assigns every user to its own node: node i receives
+// exactly the ratings of user i (paper §IV-A5, "one node, one user"). The
+// returned slice has NumUsers entries; users with no ratings get an empty
+// slice.
+func (d *Dataset) PartitionPerUser() ([][]Rating, error) {
+	if len(d.Ratings) == 0 {
+		return nil, ErrNoRatings
+	}
+	parts := make([][]Rating, d.NumUsers)
+	for _, r := range d.Ratings {
+		parts[r.User] = append(parts[r.User], r)
+	}
+	return parts, nil
+}
+
+// PartitionUsersAcross distributes whole users round-robin across n nodes
+// (paper §IV-B-b: 610 users over 50 nodes, each node holding 12 or 13
+// users). Users are dealt in shuffled order so node loads are balanced in
+// expectation; a user's ratings are never split across nodes.
+func (d *Dataset) PartitionUsersAcross(n int, rng *rand.Rand) ([][]Rating, error) {
+	if len(d.Ratings) == 0 {
+		return nil, ErrNoRatings
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: invalid node count %d", n)
+	}
+	byUser := make(map[uint32][]Rating)
+	for _, r := range d.Ratings {
+		byUser[r.User] = append(byUser[r.User], r)
+	}
+	users := make([]uint32, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+	parts := make([][]Rating, n)
+	for i, u := range users {
+		node := i % n
+		parts[node] = append(parts[node], byUser[u]...)
+	}
+	return parts, nil
+}
+
+// Users returns the sorted distinct user ids present in the dataset.
+func (d *Dataset) Users() []uint32 {
+	seen := make(map[uint32]struct{})
+	for _, r := range d.Ratings {
+		seen[r.User] = struct{}{}
+	}
+	out := make([]uint32, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Items returns the sorted distinct item ids present in the dataset.
+func (d *Dataset) Items() []uint32 {
+	seen := make(map[uint32]struct{})
+	for _, r := range d.Ratings {
+		seen[r.Item] = struct{}{}
+	}
+	out := make([]uint32, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

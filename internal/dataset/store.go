@@ -1,0 +1,89 @@
+package dataset
+
+import "math/rand"
+
+// Store is the raw-data store a REX enclave keeps in protected memory. It
+// deduplicates on (user, item): the paper's sampling is stateless, so a node
+// may receive the same data point more than once, and Algorithm 2 line 16
+// appends only non-duplicate items. The Store preserves insertion order of
+// first occurrence so training iteration is deterministic under a fixed rng.
+type Store struct {
+	ratings []Rating
+	index   map[uint64]int // Key() -> position in ratings
+	// appended counts total Append attempts; appended-Len() is the number
+	// of duplicates rejected, a quantity surfaced in metrics.
+	appended int
+}
+
+// NewStore creates a store seeded with the node's initial local ratings.
+// Duplicate (user,item) pairs in the seed keep the last value.
+func NewStore(initial []Rating) *Store {
+	s := &Store{index: make(map[uint64]int, len(initial))}
+	s.Append(initial)
+	return s
+}
+
+// Append merges new ratings into the store, skipping duplicates. A
+// duplicate with a different value updates the stored value in place (the
+// newest opinion wins); it still counts as a duplicate for accounting. It
+// returns the number of genuinely new data points added.
+func (s *Store) Append(rs []Rating) int {
+	added := 0
+	for _, r := range rs {
+		s.appended++
+		if pos, ok := s.index[r.Key()]; ok {
+			s.ratings[pos].Value = r.Value
+			continue
+		}
+		s.index[r.Key()] = len(s.ratings)
+		s.ratings = append(s.ratings, r)
+		added++
+	}
+	return added
+}
+
+// Len returns the number of distinct data points held.
+func (s *Store) Len() int { return len(s.ratings) }
+
+// Duplicates returns how many appended points were rejected as duplicates.
+func (s *Store) Duplicates() int { return s.appended - len(s.ratings) }
+
+// Ratings exposes the backing slice for training loops. Callers must treat
+// it as read-only; it is invalidated by the next Append.
+func (s *Store) Ratings() []Rating { return s.ratings }
+
+// Contains reports whether the (user, item) interaction is present.
+func (s *Store) Contains(user, item uint32) bool {
+	_, ok := s.index[Rating{User: user, Item: item}.Key()]
+	return ok
+}
+
+// Sample draws n data points uniformly at random *with replacement is not
+// used*: it picks n distinct positions when n < Len, else returns a copy of
+// everything. This implements the paper's stateless sampling (§III-E): the
+// sampler keeps no memory of what was previously shared, so across epochs
+// the same point may be re-sent.
+func (s *Store) Sample(n int, rng *rand.Rand) []Rating {
+	if n >= len(s.ratings) {
+		out := make([]Rating, len(s.ratings))
+		copy(out, s.ratings)
+		return out
+	}
+	idx := rng.Perm(len(s.ratings))[:n]
+	out := make([]Rating, n)
+	for i, j := range idx {
+		out[i] = s.ratings[j]
+	}
+	return out
+}
+
+// Bytes returns the encoded size of the whole store, used for the enclave
+// memory accounting in the SGX experiments (Fig 6/7 (b)).
+func (s *Store) Bytes() int { return len(s.ratings) * EncodedSize }
+
+// Snapshot returns a copy of the current contents, safe to retain.
+func (s *Store) Snapshot() []Rating {
+	out := make([]Rating, len(s.ratings))
+	copy(out, s.ratings)
+	return out
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreDedup(t *testing.T) {
+	s := NewStore([]Rating{{1, 1, 3}, {1, 2, 4}})
+	added := s.Append([]Rating{{1, 1, 3}, {2, 2, 5}})
+	if added != 1 {
+		t.Fatalf("added = %d want 1", added)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d want 3", s.Len())
+	}
+	if s.Duplicates() != 1 {
+		t.Fatalf("duplicates = %d want 1", s.Duplicates())
+	}
+}
+
+func TestStoreDuplicateUpdatesValue(t *testing.T) {
+	s := NewStore([]Rating{{1, 1, 3}})
+	s.Append([]Rating{{1, 1, 5}})
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.Ratings()[0].Value; got != 5 {
+		t.Fatalf("newest opinion must win: got %v", got)
+	}
+}
+
+func TestStoreContains(t *testing.T) {
+	s := NewStore([]Rating{{4, 9, 1}})
+	if !s.Contains(4, 9) {
+		t.Fatal("missing stored rating")
+	}
+	if s.Contains(9, 4) {
+		t.Fatal("contains swapped pair")
+	}
+}
+
+func TestStoreSampleSizes(t *testing.T) {
+	rs := mkRatings(100, 10, 50, 1)
+	s := NewStore(rs)
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 10, 99, 100, 500} {
+		got := s.Sample(n, rng)
+		want := n
+		if want > 100 {
+			want = 100
+		}
+		if len(got) != want {
+			t.Fatalf("sample(%d) returned %d", n, len(got))
+		}
+	}
+}
+
+func TestStoreSampleDistinctAndSubset(t *testing.T) {
+	rs := mkRatings(200, 20, 60, 3)
+	s := NewStore(rs)
+	in := make(map[uint64]bool, len(rs))
+	for _, r := range rs {
+		in[r.Key()] = true
+	}
+	rng := rand.New(rand.NewSource(4))
+	sample := s.Sample(50, rng)
+	seen := make(map[uint64]bool)
+	for _, r := range sample {
+		if !in[r.Key()] {
+			t.Fatalf("sampled rating %+v not in store", r)
+		}
+		if seen[r.Key()] {
+			t.Fatalf("duplicate in one sample: %+v", r)
+		}
+		seen[r.Key()] = true
+	}
+}
+
+// TestStoreStatelessSampling checks the paper's §III-E property: sampling
+// keeps no state, so across epochs the same point can recur.
+func TestStoreStatelessSampling(t *testing.T) {
+	rs := mkRatings(30, 5, 20, 5)
+	s := NewStore(rs)
+	rng := rand.New(rand.NewSource(6))
+	counts := make(map[uint64]int)
+	for epoch := 0; epoch < 50; epoch++ {
+		for _, r := range s.Sample(10, rng) {
+			counts[r.Key()]++
+		}
+	}
+	repeats := 0
+	for _, c := range counts {
+		if c > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("stateless sampling should repeat points across epochs")
+	}
+}
+
+func TestStoreAppendIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rs := mkRatings(50, 8, 30, seed%1000)
+		s := NewStore(rs)
+		before := s.Len()
+		s.Append(rs) // appending the same data adds nothing
+		return s.Len() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreBytes(t *testing.T) {
+	s := NewStore(mkRatings(17, 5, 10, 7))
+	if s.Bytes() != 17*EncodedSize {
+		t.Fatalf("bytes = %d", s.Bytes())
+	}
+}
+
+func TestStoreSnapshotIndependent(t *testing.T) {
+	s := NewStore([]Rating{{1, 1, 3}})
+	snap := s.Snapshot()
+	s.Append([]Rating{{2, 2, 4}})
+	if len(snap) != 1 {
+		t.Fatal("snapshot grew with the store")
+	}
+	snap[0].Value = 99
+	if s.Ratings()[0].Value == 99 {
+		t.Fatal("snapshot aliases store memory")
+	}
+}
+
+func TestStoreInsertionOrderStable(t *testing.T) {
+	a := []Rating{{3, 3, 1}, {1, 1, 2}, {2, 2, 3}}
+	s := NewStore(a)
+	s.Append([]Rating{{1, 1, 9}, {4, 4, 4}})
+	got := s.Ratings()
+	wantOrder := []uint32{3, 1, 2, 4}
+	for i, u := range wantOrder {
+		if got[i].User != u {
+			t.Fatalf("order[%d] = user %d, want %d", i, got[i].User, u)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package enclave
+
+import (
+	"testing"
+	"time"
+
+	"rex/internal/attest"
+)
+
+func newEnc(sgx bool) *Enclave {
+	return New(attest.MeasureCode([]byte("e")), DefaultParams(), sgx)
+}
+
+func TestNativeChargesNothing(t *testing.T) {
+	e := newEnc(false)
+	e.SetHeap(500 << 20) // even far beyond EPC
+	if f := e.ComputeFactor(); f != 1.0 {
+		t.Fatalf("native compute factor %v", f)
+	}
+	if f := e.MemFactor(); f != 1.0 {
+		t.Fatalf("native mem factor %v", f)
+	}
+	if d := e.ECall(1000); d != 0 {
+		t.Fatalf("native ecall cost %v", d)
+	}
+	if d := e.OCall(1000); d != 0 {
+		t.Fatalf("native ocall cost %v", d)
+	}
+	if d := e.CryptoTime(1 << 20); d != 0 {
+		t.Fatalf("native crypto cost %v", d)
+	}
+	if d := e.NativeAllocTime(1 << 20); d == 0 {
+		t.Fatal("native alloc penalty missing (the §IV-D sampling effect)")
+	}
+}
+
+func TestSGXFactorsMonotonicInResidency(t *testing.T) {
+	e := newEnc(true)
+	params := e.Params()
+	prev := 0.0
+	for _, frac := range []float64{0.1, 0.5, 0.9, 1.5, 2.5} {
+		e.SetHeap(int64(frac * float64(params.EPCBytes)))
+		f := e.ComputeFactor()
+		if f <= prev {
+			t.Fatalf("factor not increasing: %.3f at residency %.1f", f, frac)
+		}
+		if f <= 1 {
+			t.Fatalf("SGX factor %.3f not above 1", f)
+		}
+		prev = f
+	}
+}
+
+func TestOvercommitPenalty(t *testing.T) {
+	e := newEnc(true)
+	p := e.Params()
+	e.SetHeap(p.EPCBytes) // exactly full
+	atLimit := e.ComputeFactor()
+	e.SetHeap(2 * p.EPCBytes) // 2x overcommit, the Fig 7 regime
+	over := e.ComputeFactor()
+	if over-atLimit < p.PagingOverhead*0.9 {
+		t.Fatalf("paging penalty too small: %.3f -> %.3f", atLimit, over)
+	}
+}
+
+func TestMemFactorExceedsComputeFactor(t *testing.T) {
+	e := newEnc(true)
+	e.SetHeap(10 << 20)
+	if e.MemFactor() <= e.ComputeFactor() {
+		t.Fatal("memory-bound surcharge missing")
+	}
+}
+
+func TestTransitionAccounting(t *testing.T) {
+	e := newEnc(true)
+	d1 := e.ECall(100)
+	d2 := e.OCall(200)
+	if d1 <= 0 || d2 <= d1 {
+		t.Fatalf("transition costs: ecall %v ocall %v", d1, d2)
+	}
+	st := e.Stats()
+	if st.ECalls != 1 || st.OCalls != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.BytesIn != 100 || st.BytesOut != 200 {
+		t.Fatalf("byte counters: %+v", st)
+	}
+	if st.TransitionOverhead != d1+d2 {
+		t.Fatalf("overhead sum: %v != %v", st.TransitionOverhead, d1+d2)
+	}
+}
+
+func TestCryptoAccounting(t *testing.T) {
+	e := newEnc(true)
+	d := e.CryptoTime(1 << 20)
+	if d <= 0 {
+		t.Fatal("no crypto cost")
+	}
+	if e.Stats().CryptoOverhead != d {
+		t.Fatal("crypto overhead not accumulated")
+	}
+}
+
+func TestHeapAccounting(t *testing.T) {
+	e := newEnc(true)
+	e.Alloc(100)
+	e.Alloc(50)
+	if e.Stats().HeapBytes != 150 || e.Stats().PeakHeapBytes != 150 {
+		t.Fatalf("alloc: %+v", e.Stats())
+	}
+	e.Free(100)
+	if e.Stats().HeapBytes != 50 {
+		t.Fatalf("free: %+v", e.Stats())
+	}
+	if e.Stats().PeakHeapBytes != 150 {
+		t.Fatal("peak lost on free")
+	}
+	e.Free(1000)
+	if e.Stats().HeapBytes != 0 {
+		t.Fatal("heap went negative")
+	}
+	e.SetHeap(999)
+	if e.Stats().PeakHeapBytes != 999 {
+		t.Fatal("SetHeap did not update peak")
+	}
+}
+
+func TestComputeTimeScales(t *testing.T) {
+	e := newEnc(true)
+	e.SetHeap(0)
+	base := time.Second
+	scaled := e.ComputeTime(base)
+	if scaled <= base {
+		t.Fatalf("SGX compute not slower: %v", scaled)
+	}
+}
+
+func TestSGXAllocPenaltyZero(t *testing.T) {
+	e := newEnc(true)
+	if d := e.NativeAllocTime(1 << 20); d != 0 {
+		t.Fatalf("enclave charged native alloc penalty %v", d)
+	}
+}
+
+func TestZeroEPCDefaulted(t *testing.T) {
+	e := New(attest.MeasureCode([]byte("e")), Params{}, true)
+	if e.Params().EPCBytes <= 0 {
+		t.Fatal("zero EPC not defaulted")
+	}
+}
+
+func TestMeasurementRetained(t *testing.T) {
+	m := attest.MeasureCode([]byte("specific"))
+	e := New(m, DefaultParams(), true)
+	if e.Measurement() != m {
+		t.Fatal("measurement lost")
+	}
+	if !e.SGX() {
+		t.Fatal("SGX flag lost")
+	}
+}

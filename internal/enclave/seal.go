@@ -1,0 +1,71 @@
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"rex/internal/attest"
+)
+
+// Sealing implements SGX data sealing: encrypting enclave state so only
+// the same enclave (same measurement) on the same platform can recover it.
+// REX enclaves can use it to persist the protected raw-data store across
+// restarts without ever exposing plaintext to the untrusted host. The
+// sealing key is derived from a platform secret and the enclave
+// measurement — the software analogue of EGETKEY with MRENCLAVE policy.
+type Sealing struct {
+	aead cipher.AEAD
+}
+
+// NewSealing derives the sealing context for an enclave measurement on a
+// platform identified by its secret (hardware-fused in real SGX).
+func NewSealing(platformSecret []byte, meas attest.Measurement) (*Sealing, error) {
+	if len(platformSecret) == 0 {
+		return nil, errors.New("enclave: empty platform secret")
+	}
+	kdf := hmac.New(sha256.New, platformSecret)
+	kdf.Write([]byte("rex-seal-v1"))
+	kdf.Write(meas[:])
+	key := kdf.Sum(nil) // 32 bytes
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: sealing cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: sealing GCM: %w", err)
+	}
+	return &Sealing{aead: aead}, nil
+}
+
+// Seal encrypts data with a random nonce; additional data (aad) is
+// authenticated but not encrypted (e.g. a store version tag).
+func (s *Sealing) Seal(data, aad []byte) ([]byte, error) {
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("enclave: sealing nonce: %w", err)
+	}
+	return s.aead.Seal(nonce, nonce, data, aad), nil
+}
+
+// ErrUnseal is returned when a sealed blob fails authentication — wrong
+// platform, wrong measurement, or tampering.
+var ErrUnseal = errors.New("enclave: unsealing failed")
+
+// Unseal decrypts a Seal output with the same aad.
+func (s *Sealing) Unseal(blob, aad []byte) ([]byte, error) {
+	ns := s.aead.NonceSize()
+	if len(blob) < ns {
+		return nil, ErrUnseal
+	}
+	pt, err := s.aead.Open(nil, blob[:ns], blob[ns:], aad)
+	if err != nil {
+		return nil, ErrUnseal
+	}
+	return pt, nil
+}

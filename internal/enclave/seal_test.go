@@ -1,0 +1,100 @@
+package enclave
+
+import (
+	"bytes"
+	"testing"
+
+	"rex/internal/attest"
+)
+
+func TestSealRoundtrip(t *testing.T) {
+	meas := attest.MeasureCode([]byte("enclave"))
+	s, err := NewSealing([]byte("platform-secret"), meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the protected raw-data store")
+	aad := []byte("v1")
+	blob, err := s.Seal(data, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, data) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := s.Unseal(blob, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestSealBindsMeasurement(t *testing.T) {
+	secret := []byte("platform-secret")
+	honest, _ := NewSealing(secret, attest.MeasureCode([]byte("honest")))
+	rogue, _ := NewSealing(secret, attest.MeasureCode([]byte("rogue")))
+	blob, err := honest.Seal([]byte("secret state"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different enclave on the same machine must not unseal.
+	if _, err := rogue.Unseal(blob, nil); err != ErrUnseal {
+		t.Fatalf("rogue enclave unsealed: %v", err)
+	}
+}
+
+func TestSealBindsPlatform(t *testing.T) {
+	meas := attest.MeasureCode([]byte("enclave"))
+	a, _ := NewSealing([]byte("machine-A"), meas)
+	b, _ := NewSealing([]byte("machine-B"), meas)
+	blob, err := a.Seal([]byte("state"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unseal(blob, nil); err != ErrUnseal {
+		t.Fatalf("foreign platform unsealed: %v", err)
+	}
+}
+
+func TestSealAADMismatch(t *testing.T) {
+	s, _ := NewSealing([]byte("secret"), attest.MeasureCode([]byte("e")))
+	blob, err := s.Seal([]byte("x"), []byte("version-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Unseal(blob, []byte("version-2")); err != ErrUnseal {
+		t.Fatalf("wrong aad accepted: %v", err)
+	}
+}
+
+func TestSealTamper(t *testing.T) {
+	s, _ := NewSealing([]byte("secret"), attest.MeasureCode([]byte("e")))
+	blob, err := s.Seal([]byte("data"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 1
+	if _, err := s.Unseal(blob, nil); err != ErrUnseal {
+		t.Fatalf("tampered blob accepted: %v", err)
+	}
+	if _, err := s.Unseal([]byte{1, 2}, nil); err != ErrUnseal {
+		t.Fatalf("short blob accepted: %v", err)
+	}
+}
+
+func TestSealEmptySecret(t *testing.T) {
+	if _, err := NewSealing(nil, attest.MeasureCode([]byte("e"))); err == nil {
+		t.Fatal("empty secret accepted")
+	}
+}
+
+func TestSealNoncesFresh(t *testing.T) {
+	s, _ := NewSealing([]byte("secret"), attest.MeasureCode([]byte("e")))
+	a, _ := s.Seal([]byte("same"), nil)
+	b, _ := s.Seal([]byte("same"), nil)
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same data are identical (nonce reuse)")
+	}
+}

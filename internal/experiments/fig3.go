@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rex/internal/core"
+	"rex/internal/metrics"
+	"rex/internal/mf"
+	"rex/internal/sim"
+)
+
+// fig3Ks is the paper's embedding-dimension sweep (§IV-B, Fig 3).
+var fig3Ks = []int{10, 20, 30, 40, 50}
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Fig 3: effect of feature-vector size k (D-PSGD, SW) — MS vs REX over fixed epochs",
+		Run: func(p Params) error {
+			p = p.defaults()
+			w, err := oneNodePerUser(latestSpec(p.Full, p.Seed), p.Seed)
+			if err != nil {
+				return err
+			}
+			g, err := buildGraph("SW", w.nodes, p.Seed)
+			if err != nil {
+				return err
+			}
+			type row struct {
+				k       int
+				ms, rex *sim.Result
+			}
+			var rows []row
+			for _, k := range fig3Ks {
+				mcfg := mf.DefaultConfig()
+				mcfg.K = k
+				msCfg := simConfig(w, g, fourSetups[2].algo, core.ModelSharing, p.Full, p.Seed, mcfg)
+				msCfg.Compute = sim.MFCompute(k)
+				ms, err := sim.Run(msCfg)
+				if err != nil {
+					return fmt.Errorf("fig3 k=%d MS: %w", k, err)
+				}
+				rexCfg := simConfig(w, g, fourSetups[2].algo, core.DataSharing, p.Full, p.Seed, mcfg)
+				rexCfg.Compute = sim.MFCompute(k)
+				rex, err := sim.Run(rexCfg)
+				if err != nil {
+					return fmt.Errorf("fig3 k=%d REX: %w", k, err)
+				}
+				rows = append(rows, row{k: k, ms: ms, rex: rex})
+			}
+
+			fmt.Fprintf(p.Out, "== Fig 3: feature-vector size sweep, D-PSGD SW, fixed %d epochs ==\n", epochs(p.Full))
+			for _, mode := range []string{"MS", "REX"} {
+				fmt.Fprintf(p.Out, "--- %s: RMSE vs epoch ---\n", mode)
+				for _, r := range rows {
+					res := r.ms
+					if mode == "REX" {
+						res = r.rex
+					}
+					metrics.FprintSeries(p.Out, p.Points, rmseVsEpoch(res, fmt.Sprintf("k=%d", r.k)))
+				}
+			}
+
+			t := metrics.NewTable("k", "MS final RMSE", "MS time", "MS data/round", "REX final RMSE", "REX time", "REX data/round")
+			for _, r := range rows {
+				t.AddRow(fmt.Sprintf("%d", r.k),
+					fmt.Sprintf("%.4f", r.ms.FinalRMSE),
+					metrics.FormatSeconds(r.ms.TotalTimeMean),
+					metrics.FormatBytes(r.ms.Series[len(r.ms.Series)-1].EpochBytesPerNode),
+					fmt.Sprintf("%.4f", r.rex.FinalRMSE),
+					metrics.FormatSeconds(r.rex.TotalTimeMean),
+					metrics.FormatBytes(r.rex.Series[len(r.rex.Series)-1].EpochBytesPerNode))
+			}
+			fmt.Fprintln(p.Out, "--- summary (MS network grows linearly with k; REX stays flat) ---")
+			t.Fprint(p.Out)
+			return nil
+		},
+	})
+}

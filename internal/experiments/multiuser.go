@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rex/internal/core"
+	"rex/internal/metrics"
+	"rex/internal/mf"
+	"rex/internal/sim"
+)
+
+// multiUserNodes returns the node count of the §IV-B-b scenario: the paper
+// partitions 610 users across 50 nodes; the scaled run uses 16.
+func multiUserNodes(full bool) int {
+	if full {
+		return 50
+	}
+	return 16
+}
+
+// multiUserRuns executes (or fetches memoized) the multi-user MF scenario
+// for all four setups.
+func multiUserRuns(p Params) ([]pairResult, error) {
+	return memoized(memoKey("multiuser", p.Full, p.Seed), func() ([]pairResult, error) {
+		n := multiUserNodes(p.Full)
+		w, err := multiUser(latestSpec(p.Full, p.Seed), n, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mcfg := mf.DefaultConfig()
+		var pairs []pairResult
+		for si, s := range fourSetups {
+			g, err := buildGraph(s.topo, n, p.Seed+int64(si))
+			if err != nil {
+				return nil, err
+			}
+			ms, err := sim.Run(simConfig(w, g, s.algo, core.ModelSharing, p.Full, p.Seed, mcfg))
+			if err != nil {
+				return nil, fmt.Errorf("%v MS: %w", s, err)
+			}
+			rex, err := sim.Run(simConfig(w, g, s.algo, core.DataSharing, p.Full, p.Seed, mcfg))
+			if err != nil {
+				return nil, fmt.Errorf("%v REX: %w", s, err)
+			}
+			pairs = append(pairs, pairResult{Setup: s, MS: ms, REX: rex})
+		}
+		return pairs, nil
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Fig 4: multiple users per node, MF — test error vs simulated time (4 setups)",
+		Run: func(p Params) error {
+			p = p.defaults()
+			pairs, err := multiUserRuns(p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(p.Out, "== Fig 4: %d users over %d nodes — MF, RMSE vs time ==\n",
+				latestSpec(p.Full, p.Seed).Users, multiUserNodes(p.Full))
+			for _, pr := range pairs {
+				fmt.Fprintf(p.Out, "--- %v ---\n", pr.Setup)
+				metrics.FprintSeries(p.Out, p.Points,
+					rmseVsTime(pr.MS, "Test error, sharing model [s]"),
+					rmseVsTime(pr.REX, "Test error, REX [s]"),
+				)
+			}
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III: multiple users per node — REX speed-up over MS",
+		Run: func(p Params) error {
+			p = p.defaults()
+			pairs, err := multiUserRuns(p)
+			if err != nil {
+				return err
+			}
+			return printSpeedupTable(p, pairs, "Table III (multiple users per node)")
+		},
+	})
+}

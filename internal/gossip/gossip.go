@@ -1,0 +1,76 @@
+// Package gossip provides the two dissemination schemes REX supports
+// (paper §III-C): random model walk (RMW, gossip learning — unicast to one
+// random neighbor per epoch) and decentralized parallel SGD (D-PSGD —
+// broadcast to all neighbors with Metropolis–Hastings-weighted merging).
+// Whether the payload is a model (MS) or raw data (REX/DS) is orthogonal
+// and handled by core.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rex/internal/topology"
+)
+
+// Algo selects the dissemination scheme.
+type Algo int
+
+const (
+	// RMW sends to one uniformly random neighbor each epoch (§III-C1).
+	RMW Algo = iota
+	// DPSGD sends to every neighbor each epoch (§III-C2).
+	DPSGD
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case RMW:
+		return "RMW"
+	case DPSGD:
+		return "D-PSGD"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// ParseAlgo converts a CLI name into an Algo.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "rmw", "RMW":
+		return RMW, nil
+	case "dpsgd", "d-psgd", "DPSGD", "D-PSGD":
+		return DPSGD, nil
+	}
+	return 0, fmt.Errorf("gossip: unknown algorithm %q (want rmw or dpsgd)", s)
+}
+
+// Targets returns the neighbors node i shares with in the current epoch:
+// one random neighbor under RMW, all neighbors under D-PSGD. The result
+// aliases graph storage for DPSGD and must not be modified.
+func Targets(a Algo, g *topology.Graph, i int, rng *rand.Rand) []int {
+	switch a {
+	case RMW:
+		j := g.RandomNeighbor(i, rng)
+		if j < 0 {
+			return nil
+		}
+		return []int{j}
+	case DPSGD:
+		return g.Neighbors(i)
+	default:
+		panic("gossip: unknown algorithm")
+	}
+}
+
+// Fanout returns the expected number of messages node i sends per epoch.
+func Fanout(a Algo, g *topology.Graph, i int) int {
+	if a == RMW {
+		if g.Degree(i) == 0 {
+			return 0
+		}
+		return 1
+	}
+	return g.Degree(i)
+}

@@ -1,0 +1,173 @@
+// Package knn implements user-based K-nearest-neighbour collaborative
+// filtering — the other decentralized recommender family the paper
+// surveys (§II-B, citing WHATSUP): predictions from the opinions of the k
+// most similar users. KNN fundamentally requires access to *other users'
+// raw profiles*, which classical parameter-sharing DLS cannot provide; a
+// REX node's deduplicated raw-data store is exactly the profile database
+// KNN needs, so raw data sharing enables this model family for free. The
+// ext-knn experiment quantifies that.
+package knn
+
+import (
+	"math"
+	"sort"
+
+	"rex/internal/dataset"
+)
+
+// Config holds KNN hyperparameters.
+type Config struct {
+	// K is the neighbourhood size.
+	K int
+	// MinOverlap is the minimum number of co-rated items for a similarity
+	// to count (guards against spurious 1-item matches).
+	MinOverlap int
+	// GlobalMean is the cold-start prediction.
+	GlobalMean float64
+}
+
+// DefaultConfig returns commonly used KNN settings.
+func DefaultConfig() Config { return Config{K: 20, MinOverlap: 2, GlobalMean: 3.5} }
+
+// Recommender predicts ratings from a set of raw profiles using cosine
+// similarity over mean-centered co-rated items (adjusted cosine).
+type Recommender struct {
+	cfg Config
+	// profiles[user][item] = rating
+	profiles map[uint32]map[uint32]float64
+	// userMean[user] = mean rating
+	userMean map[uint32]float64
+}
+
+// New builds a recommender from raw ratings (e.g. a REX node's store).
+func New(cfg Config, ratings []dataset.Rating) *Recommender {
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	r := &Recommender{
+		cfg:      cfg,
+		profiles: make(map[uint32]map[uint32]float64),
+		userMean: make(map[uint32]float64),
+	}
+	counts := make(map[uint32]int)
+	for _, rt := range ratings {
+		p, ok := r.profiles[rt.User]
+		if !ok {
+			p = make(map[uint32]float64)
+			r.profiles[rt.User] = p
+		}
+		p[rt.Item] = float64(rt.Value)
+		r.userMean[rt.User] += float64(rt.Value)
+		counts[rt.User]++
+	}
+	for u, c := range counts {
+		r.userMean[u] /= float64(c)
+	}
+	return r
+}
+
+// NumProfiles returns how many distinct users the recommender knows.
+func (r *Recommender) NumProfiles() int { return len(r.profiles) }
+
+// similarity computes the adjusted-cosine similarity between two users
+// over their co-rated items; ok is false below the overlap threshold.
+func (r *Recommender) similarity(a, b uint32) (float64, bool) {
+	pa, pb := r.profiles[a], r.profiles[b]
+	if len(pa) > len(pb) {
+		pa, pb = pb, pa
+		a, b = b, a
+	}
+	ma, mb := r.userMean[a], r.userMean[b]
+	var dot, na, nb float64
+	overlap := 0
+	for item, va := range pa {
+		vb, ok := pb[item]
+		if !ok {
+			continue
+		}
+		da, db := va-ma, vb-mb
+		dot += da * db
+		na += da * da
+		nb += db * db
+		overlap++
+	}
+	if overlap < r.cfg.MinOverlap || na == 0 || nb == 0 {
+		return 0, false
+	}
+	return dot / math.Sqrt(na*nb), true
+}
+
+type neighbor struct {
+	user uint32
+	sim  float64
+}
+
+// neighbors returns the k most similar users to `user` that have rated
+// `item`.
+func (r *Recommender) neighbors(user, item uint32) []neighbor {
+	var cands []neighbor
+	for other := range r.profiles {
+		if other == user {
+			continue
+		}
+		if _, rated := r.profiles[other][item]; !rated {
+			continue
+		}
+		if s, ok := r.similarity(user, other); ok && s > 0 {
+			cands = append(cands, neighbor{user: other, sim: s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].user < cands[j].user
+	})
+	if len(cands) > r.cfg.K {
+		cands = cands[:r.cfg.K]
+	}
+	return cands
+}
+
+// Predict estimates user's rating of item: the user's mean plus the
+// similarity-weighted mean-centered opinions of the neighbourhood.
+func (r *Recommender) Predict(user, item uint32) float64 {
+	base := r.cfg.GlobalMean
+	if m, ok := r.userMean[user]; ok {
+		base = m
+	}
+	nb := r.neighbors(user, item)
+	if len(nb) == 0 {
+		return base
+	}
+	var num, den float64
+	for _, n := range nb {
+		num += n.sim * (r.profiles[n.user][item] - r.userMean[n.user])
+		den += math.Abs(n.sim)
+	}
+	if den == 0 {
+		return base
+	}
+	return base + num/den
+}
+
+// RMSE evaluates the recommender over held-out ratings, clamping into the
+// star range like model.RMSE.
+func (r *Recommender) RMSE(test []dataset.Rating) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	var se float64
+	for _, t := range test {
+		p := r.Predict(t.User, t.Item)
+		if p < 0.5 {
+			p = 0.5
+		}
+		if p > 5 {
+			p = 5
+		}
+		d := p - float64(t.Value)
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(test)))
+}

@@ -1,0 +1,147 @@
+// Package metrics provides the small presentation layer the benchmark
+// harness uses: humane byte/duration formatting, ASCII tables matching the
+// paper's table layouts, and down-sampled series printing for figures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// FormatBytes renders a byte count with binary units, e.g. "2.1 MiB".
+func FormatBytes(b float64) string {
+	abs := math.Abs(b)
+	switch {
+	case abs >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", b/(1<<30))
+	case abs >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case abs >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// FormatSeconds renders a duration in the unit the paper's axes use.
+func FormatSeconds(s float64) string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1f h", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1f min", s/60)
+	case s >= 1:
+		return fmt.Sprintf("%.1f s", s)
+	default:
+		return fmt.Sprintf("%.1f ms", s*1000)
+	}
+}
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Fprint writes the aligned table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a labeled (x, y) sequence, one line of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Downsample returns at most n evenly spaced points of the series
+// (endpoints preserved), for terminal-friendly figure dumps.
+func (s Series) Downsample(n int) Series {
+	if n <= 0 || len(s.X) <= n {
+		return s
+	}
+	out := Series{Label: s.Label}
+	step := float64(len(s.X)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		j := int(math.Round(float64(i) * step))
+		if j >= len(s.X) {
+			j = len(s.X) - 1
+		}
+		out.X = append(out.X, s.X[j])
+		out.Y = append(out.Y, s.Y[j])
+	}
+	return out
+}
+
+// FprintSeries prints one or more series as columns: x then one y column
+// per series, down-sampled to at most points rows. Series may have
+// different x grids; each is printed in its own block.
+func FprintSeries(w io.Writer, points int, series ...Series) {
+	for _, s := range series {
+		ds := s.Downsample(points)
+		fmt.Fprintf(w, "# %s\n", s.Label)
+		for i := range ds.X {
+			fmt.Fprintf(w, "%12.4f  %10.4f\n", ds.X[i], ds.Y[i])
+		}
+	}
+}
+
+// CleanNaN filters out NaN y-values (epochs where RMSE evaluation was
+// skipped), keeping x/y aligned.
+func CleanNaN(x, y []float64) ([]float64, []float64) {
+	var ox, oy []float64
+	for i := range y {
+		if !math.IsNaN(y[i]) {
+			ox = append(ox, x[i])
+			oy = append(oy, y[i])
+		}
+	}
+	return ox, oy
+}

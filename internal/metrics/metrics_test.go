@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFormatBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{512, "512 B"}, {2048, "2.0 KiB"}, {3 << 20, "3.0 MiB"}, {5 << 30, "5.0 GiB"}} {
+		if got := FormatBytes(tc.in); got != tc.want {
+			t.Fatalf("FormatBytes(%v) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{0.005, "5.0 ms"}, {2.5, "2.5 s"}, {90, "1.5 min"}, {7200, "2.0 h"}} {
+		if got := FormatSeconds(tc.in); got != tc.want {
+			t.Fatalf("FormatSeconds(%v) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Setup", "Value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a much longer setup name", "2")
+	tb.AddRow("padded") // short row
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Setup") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator %q", lines[1])
+	}
+	// The Value column must start at the same offset in every data row.
+	idx := strings.Index(lines[2], "1")
+	if idx < 0 || !strings.Contains(lines[3], strings.Repeat(" ", 2)+"2") {
+		t.Fatalf("misaligned rows: %q %q", lines[2], lines[3])
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := Series{Label: "x"}
+	for i := 0; i < 100; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(i)*2)
+	}
+	d := s.Downsample(5)
+	if len(d.X) != 5 {
+		t.Fatalf("downsampled to %d", len(d.X))
+	}
+	if d.X[0] != 0 || d.X[4] != 99 {
+		t.Fatalf("endpoints lost: %v", d.X)
+	}
+	// Short series unchanged.
+	if got := s.Downsample(200); len(got.X) != 100 {
+		t.Fatal("short series padded")
+	}
+	if got := s.Downsample(0); len(got.X) != 100 {
+		t.Fatal("n=0 should be identity")
+	}
+}
+
+func TestFprintSeries(t *testing.T) {
+	var sb strings.Builder
+	FprintSeries(&sb, 3, Series{Label: "curve", X: []float64{1, 2, 3, 4}, Y: []float64{1, 4, 9, 16}})
+	out := sb.String()
+	if !strings.Contains(out, "# curve") {
+		t.Fatalf("missing label: %q", out)
+	}
+	if strings.Count(out, "\n") != 4 { // label + 3 points
+		t.Fatalf("wrong row count: %q", out)
+	}
+}
+
+func TestCleanNaN(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, math.NaN(), 3, math.NaN()}
+	cx, cy := CleanNaN(x, y)
+	if len(cx) != 2 || cx[1] != 2 || cy[1] != 3 {
+		t.Fatalf("cleaned: %v %v", cx, cy)
+	}
+}

@@ -1,0 +1,389 @@
+// Package mf implements the biased matrix-factorization recommender of
+// paper §II-A-b: rank-k user/item embeddings X, Y with bias vectors b, c,
+// trained by SGD on the regularized squared loss
+//
+//	1/2 Σ (a_ij − b_i − c_j − x_i·y_j)² + λ/2 (‖X‖² + ‖Y‖²)
+//
+// Predictions are p_ij = x_i·y_j + b_i + c_j. Hyperparameters follow
+// §IV-A3a: η = 0.005, λ = 0.1, k = 10.
+//
+// Storage is dense over the id space with a presence bitmap: a node only
+// "has" embeddings for users/items it has trained on or merged in, and
+// only those go on the wire, but lookups and merges are flat array walks —
+// the hot path of decentralized simulation.
+package mf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rex/internal/dataset"
+	"rex/internal/model"
+)
+
+// Config holds MF hyperparameters.
+type Config struct {
+	K            int     // embedding dimension (paper: 10; Fig 3 sweeps 10..50)
+	LearningRate float64 // SGD step size η (paper: 0.005)
+	Reg          float64 // regularization λ (paper: 0.1)
+	InitStd      float64 // std-dev of embedding initialization
+	GlobalMean   float64 // prior used for cold predictions
+	Seed         int64   // seed for parameter initialization
+}
+
+// DefaultConfig returns the paper's MF hyperparameters (§IV-A3a).
+func DefaultConfig() Config {
+	return Config{K: 10, LearningRate: 0.005, Reg: 0.1, InitStd: 0.1, GlobalMean: 3.5, Seed: 7}
+}
+
+// table is one side's dense storage (users or items).
+type table struct {
+	k       int
+	seed    uint64
+	initStd float32
+	f       []float32 // cap*k factor values
+	b       []float32 // cap biases
+	present []bool    // cap presence flags
+	count   int       // number of present entries
+	maxID   int       // 1 + highest present id (0 when empty)
+}
+
+func newTable(k int, seed uint64, initStd float64) *table {
+	return &table{k: k, seed: seed, initStd: float32(initStd)}
+}
+
+func (t *table) grow(id int) { t.growCap(id, true) }
+
+// growCap ensures capacity for id. With round=true the capacity doubles
+// (amortized growth on the training path); round=false allocates exactly,
+// which merges use so peers' slack capacity never compounds.
+func (t *table) growCap(id int, round bool) {
+	if id < len(t.present) {
+		return
+	}
+	ncap := id + 1
+	if round {
+		if d := len(t.present) * 2; d > ncap {
+			ncap = d
+		}
+		if ncap < 16 {
+			ncap = 16
+		}
+	}
+	f := make([]float32, ncap*t.k)
+	copy(f, t.f)
+	b := make([]float32, ncap)
+	copy(b, t.b)
+	p := make([]bool, ncap)
+	copy(p, t.present)
+	t.f, t.b, t.present = f, b, p
+}
+
+// vec materializes (if needed) and returns the factor row for id. The
+// initial vector is a pure function of (seed, id), so two models with equal
+// seeds materialize identical embeddings regardless of touch order —
+// mirroring attested enclaves sharing initial state.
+func (t *table) vec(id int) []float32 {
+	t.grow(id)
+	row := t.f[id*t.k : (id+1)*t.k]
+	if !t.present[id] {
+		h := t.seed ^ uint64(id)*0x9E3779B97F4A7C15
+		for d := range row {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			// Uniform in [-sqrt(3), sqrt(3)) * std has variance std^2.
+			u := float32(h>>11)/float32(1<<53)*2 - 1
+			row[d] = u * 1.7320508 * t.initStd
+		}
+		t.present[id] = true
+		t.count++
+		if id+1 > t.maxID {
+			t.maxID = id + 1
+		}
+	}
+	return row
+}
+
+func (t *table) has(id int) bool { return id < len(t.present) && t.present[id] }
+
+func (t *table) clone() *table {
+	// Copy only the live prefix; slack capacity is an allocation artifact.
+	n := t.maxID
+	c := &table{k: t.k, seed: t.seed, initStd: t.initStd, count: t.count, maxID: t.maxID}
+	c.f = append([]float32(nil), t.f[:n*t.k]...)
+	c.b = append([]float32(nil), t.b[:n]...)
+	c.present = append([]bool(nil), t.present[:n]...)
+	return c
+}
+
+// Model is a biased MF model.
+type Model struct {
+	cfg   Config
+	users *table
+	items *table
+}
+
+var _ model.Model = (*Model)(nil)
+
+// New creates an empty MF model. Embeddings materialize lazily the first
+// time a user/item is touched by training, merging, or unmarshaling.
+func New(cfg Config) *Model {
+	if cfg.K <= 0 {
+		panic("mf: K must be positive")
+	}
+	return &Model{
+		cfg:   cfg,
+		users: newTable(cfg.K, uint64(cfg.Seed)*2654435761+1, cfg.InitStd),
+		items: newTable(cfg.K, uint64(cfg.Seed)*2654435761+2, cfg.InitStd),
+	}
+}
+
+// Config returns the model's hyperparameters.
+func (m *Model) Config() Config { return m.cfg }
+
+// Train runs `steps` plain SGD steps, each on one rating drawn uniformly
+// from data. Fixing steps (rather than sweeping all data) keeps epoch time
+// constant as the raw-data store grows, exactly the paper's device in
+// §III-E.
+func (m *Model) Train(data []dataset.Rating, steps int, rng *rand.Rand) {
+	if len(data) == 0 || steps <= 0 {
+		return
+	}
+	k := m.cfg.K
+	lr := float32(m.cfg.LearningRate)
+	reg := float32(m.cfg.Reg)
+	mean := float32(m.cfg.GlobalMean)
+	for s := 0; s < steps; s++ {
+		r := data[rng.Intn(len(data))]
+		u, it := int(r.User), int(r.Item)
+		x := m.users.vec(u)
+		y := m.items.vec(it)
+		var dot float32
+		for d := 0; d < k; d++ {
+			dot += x[d] * y[d]
+		}
+		pred := mean + m.users.b[u] + m.items.b[it] + dot
+		e := r.Value - pred
+		m.users.b[u] += lr * (e - reg*m.users.b[u])
+		m.items.b[it] += lr * (e - reg*m.items.b[it])
+		for d := 0; d < k; d++ {
+			xd, yd := x[d], y[d]
+			x[d] += lr * (e*yd - reg*xd)
+			y[d] += lr * (e*xd - reg*yd)
+		}
+	}
+}
+
+// Predict returns the estimated rating, falling back to bias-only or the
+// global mean for unseen entities.
+func (m *Model) Predict(user, item uint32) float32 {
+	u, it := int(user), int(item)
+	p := float32(m.cfg.GlobalMean)
+	hasU := m.users.has(u)
+	hasI := m.items.has(it)
+	if hasU {
+		p += m.users.b[u]
+	}
+	if hasI {
+		p += m.items.b[it]
+	}
+	if hasU && hasI {
+		x := m.users.f[u*m.cfg.K:]
+		y := m.items.f[it*m.cfg.K:]
+		for d := 0; d < m.cfg.K; d++ {
+			p += x[d] * y[d]
+		}
+	}
+	return p
+}
+
+// ParamCount returns the number of scalar parameters held: (k+1) per known
+// user plus (k+1) per known item.
+func (m *Model) ParamCount() int {
+	return (m.cfg.K + 1) * (m.users.count + m.items.count)
+}
+
+// WireSize implements model.Model: the exact Marshal output length.
+func (m *Model) WireSize() int {
+	rec := 4 + 4 + 4*m.cfg.K
+	return 16 + rec*(m.users.count+m.items.count)
+}
+
+// NumUsers returns how many distinct users the model has embeddings for.
+func (m *Model) NumUsers() int { return m.users.count }
+
+// NumItems returns how many distinct items the model has embeddings for.
+func (m *Model) NumItems() int { return m.items.count }
+
+// Clone returns a deep copy sharing no state.
+func (m *Model) Clone() model.Model {
+	return &Model{cfg: m.cfg, users: m.users.clone(), items: m.items.clone()}
+}
+
+// MergeWeighted implements model.Model. For each entity, the result is the
+// weight-normalized average over the models that actually hold it
+// (§III-C2: "when a node has no embedding for a given user or item, we
+// consider only those of its neighbors").
+func (m *Model) MergeWeighted(selfW float64, others []model.Weighted) {
+	srcs := make([]*Model, 0, len(others))
+	ws := make([]float32, 0, len(others))
+	for _, o := range others {
+		om, ok := o.M.(*Model)
+		if !ok || om.cfg.K != m.cfg.K {
+			continue // incompatible model; cannot average across families
+		}
+		srcs = append(srcs, om)
+		ws = append(ws, float32(o.W))
+	}
+	if len(srcs) == 0 {
+		return
+	}
+	mergeTables(m.users, float32(selfW), srcs, ws, func(s *Model) *table { return s.users })
+	mergeTables(m.items, float32(selfW), srcs, ws, func(s *Model) *table { return s.items })
+}
+
+func mergeTables(dst *table, selfW float32, srcs []*Model, ws []float32, side func(*Model) *table) {
+	// Size dst to the union of live id ranges (not capacities) exactly.
+	maxLen := dst.maxID
+	for _, s := range srcs {
+		if l := side(s).maxID; l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen > 0 {
+		dst.growCap(maxLen-1, false)
+	}
+	k := dst.k
+	for id := 0; id < maxLen; id++ {
+		var wsum float32
+		if dst.present[id] {
+			wsum = selfW
+		}
+		anyAlien := false
+		for si, s := range srcs {
+			if side(s).has(id) {
+				wsum += ws[si]
+				anyAlien = true
+			}
+		}
+		if !anyAlien || wsum == 0 {
+			continue // nothing new for this entity
+		}
+		drow := dst.f[id*k : (id+1)*k]
+		var bias float32
+		if dst.present[id] {
+			w := selfW / wsum
+			for d := range drow {
+				drow[d] *= w
+			}
+			bias = dst.b[id] * w
+		} else {
+			for d := range drow {
+				drow[d] = 0
+			}
+			dst.present[id] = true
+			dst.count++
+			if id+1 > dst.maxID {
+				dst.maxID = id + 1
+			}
+		}
+		for si, s := range srcs {
+			st := side(s)
+			if !st.has(id) {
+				continue
+			}
+			w := ws[si] / wsum
+			srow := st.f[id*k : (id+1)*k]
+			for d := range drow {
+				drow[d] += w * srow[d]
+			}
+			bias += w * st.b[id]
+		}
+		dst.b[id] = bias
+	}
+}
+
+const magic = uint32(0x5245584d) // "REXM"
+
+// Marshal serializes the model: magic, K, user count, item count, then
+// (id, bias, k floats) records for present users then items, in id order —
+// deterministic, so identical models serialize identically.
+func (m *Model) Marshal() ([]byte, error) {
+	rec := 4 + 4 + 4*m.cfg.K
+	buf := make([]byte, 16, 16+rec*(m.users.count+m.items.count))
+	binary.LittleEndian.PutUint32(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.cfg.K))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.users.count))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(m.items.count))
+	var scratch [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	emit := func(t *table) {
+		for id := 0; id < len(t.present); id++ {
+			if !t.present[id] {
+				continue
+			}
+			put32(uint32(id))
+			put32(math.Float32bits(t.b[id]))
+			row := t.f[id*t.k : (id+1)*t.k]
+			for _, x := range row {
+				put32(math.Float32bits(x))
+			}
+		}
+	}
+	emit(m.users)
+	emit(m.items)
+	return buf, nil
+}
+
+// Unmarshal replaces the model's parameters with the serialized ones. The
+// serialized K must match the receiver's configuration.
+func (m *Model) Unmarshal(b []byte) error {
+	if len(b) < 16 {
+		return fmt.Errorf("mf: buffer too short (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != magic {
+		return fmt.Errorf("mf: bad magic %#x", binary.LittleEndian.Uint32(b))
+	}
+	k := int(binary.LittleEndian.Uint32(b[4:]))
+	if k != m.cfg.K {
+		return fmt.Errorf("mf: serialized K=%d, model K=%d", k, m.cfg.K)
+	}
+	nu := int(binary.LittleEndian.Uint32(b[8:]))
+	ni := int(binary.LittleEndian.Uint32(b[12:]))
+	rec := 4 + 4 + 4*k
+	need := 16 + rec*(nu+ni)
+	if len(b) != need {
+		return fmt.Errorf("mf: buffer %d bytes, want %d", len(b), need)
+	}
+	fresh := New(m.cfg)
+	off := 16
+	read := func(t *table, n int) error {
+		for i := 0; i < n; i++ {
+			id := int(binary.LittleEndian.Uint32(b[off:]))
+			if id > 1<<28 {
+				return fmt.Errorf("mf: implausible entity id %d", id)
+			}
+			row := t.vec(id) // materializes, marks present
+			t.b[id] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+4:]))
+			for d := 0; d < k; d++ {
+				row[d] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+8+4*d:]))
+			}
+			off += rec
+		}
+		return nil
+	}
+	if err := read(fresh.users, nu); err != nil {
+		return err
+	}
+	if err := read(fresh.items, ni); err != nil {
+		return err
+	}
+	m.users, m.items = fresh.users, fresh.items
+	return nil
+}

@@ -1,0 +1,258 @@
+package mf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rex/internal/dataset"
+	"rex/internal/model"
+	"rex/internal/movielens"
+)
+
+func trainingData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	spec := movielens.Latest().Scaled(0.05)
+	spec.Seed = 77
+	return movielens.Generate(spec)
+}
+
+func TestTrainReducesError(t *testing.T) {
+	ds := trainingData(t)
+	rng := rand.New(rand.NewSource(1))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	m := New(DefaultConfig())
+	before := model.RMSE(m, te.Ratings)
+	m.Train(tr.Ratings, 40_000, rng)
+	after := model.RMSE(m, te.Ratings)
+	if after >= before {
+		t.Fatalf("training did not help: %.4f -> %.4f", before, after)
+	}
+	if after > 1.1 {
+		t.Fatalf("converged RMSE %.4f too high", after)
+	}
+}
+
+func TestTrainNoData(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Train(nil, 100, rand.New(rand.NewSource(1))) // must not panic
+	if m.ParamCount() != 0 {
+		t.Fatal("training on nothing materialized parameters")
+	}
+}
+
+func TestPredictFallbacks(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	if got := m.Predict(5, 9); got != float32(cfg.GlobalMean) {
+		t.Fatalf("cold prediction %v, want global mean", got)
+	}
+	m.Train([]dataset.Rating{{User: 1, Item: 2, Value: 5}}, 200, rand.New(rand.NewSource(2)))
+	// Known user, unknown item: bias-only path must not panic and should
+	// stay in a sane range.
+	if p := m.Predict(1, 999); p < 0 || p > 6 {
+		t.Fatalf("bias-only prediction %v out of range", p)
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	cfg := DefaultConfig()
+	a, b := New(cfg), New(cfg)
+	// Touch the same entities in different orders; initial vectors must
+	// match (pure function of seed+id), the attested-equal-state property.
+	a.users.vec(3)
+	a.users.vec(7)
+	b.users.vec(7)
+	b.users.vec(3)
+	av, bv := a.users.vec(3), b.users.vec(3)
+	for d := range av {
+		if av[d] != bv[d] {
+			t.Fatalf("dim %d: %v != %v", d, av[d], bv[d])
+		}
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	ds := trainingData(t)
+	m := New(DefaultConfig())
+	m.Train(ds.Ratings, 10_000, rand.New(rand.NewSource(3)))
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != m.WireSize() {
+		t.Fatalf("WireSize %d != marshaled %d", m.WireSize(), len(buf))
+	}
+	m2 := New(DefaultConfig())
+	if err := m2.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Ratings[:200] {
+		if m.Predict(r.User, r.Item) != m2.Predict(r.User, r.Item) {
+			t.Fatalf("prediction differs after roundtrip for %+v", r)
+		}
+	}
+	buf2, err := m2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(buf2) {
+		t.Fatal("serialization not canonical")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	other := DefaultConfig()
+	other.K = 20
+	m20 := New(other)
+	m20.Train([]dataset.Rating{{User: 0, Item: 0, Value: 3}}, 10, rand.New(rand.NewSource(4)))
+	buf, _ := m20.Marshal()
+	if err := m.Unmarshal(buf); err == nil {
+		t.Fatal("K mismatch accepted")
+	}
+	good, _ := m20.Marshal()
+	if err := m20.Unmarshal(good[:len(good)-2]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if err := m20.Unmarshal(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestMarshalRoundtripProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		cfg := DefaultConfig()
+		m := New(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		data := []dataset.Rating{
+			{User: uint32(rng.Intn(50)), Item: uint32(rng.Intn(50)), Value: 3},
+			{User: uint32(rng.Intn(50)), Item: uint32(rng.Intn(50)), Value: 4},
+		}
+		m.Train(data, int(steps), rng)
+		buf, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		m2 := New(cfg)
+		if err := m2.Unmarshal(buf); err != nil {
+			return false
+		}
+		buf2, err := m2.Marshal()
+		return err == nil && string(buf) == string(buf2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Train([]dataset.Rating{{User: 1, Item: 1, Value: 5}}, 500, rand.New(rand.NewSource(5)))
+	c := m.Clone().(*Model)
+	before := m.Predict(1, 1)
+	c.Train([]dataset.Rating{{User: 1, Item: 1, Value: 0.5}}, 2000, rand.New(rand.NewSource(6)))
+	if m.Predict(1, 1) != before {
+		t.Fatal("training a clone mutated the original")
+	}
+}
+
+func TestMergeIdenticalIsIdempotent(t *testing.T) {
+	ds := trainingData(t)
+	m := New(DefaultConfig())
+	m.Train(ds.Ratings, 5000, rand.New(rand.NewSource(7)))
+	c := m.Clone()
+	m.MergeWeighted(0.5, []model.Weighted{{M: c, W: 0.5}})
+	for _, r := range ds.Ratings[:100] {
+		a, b := m.Predict(r.User, r.Item), c.Predict(r.User, r.Item)
+		if diff := a - b; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("averaging a model with itself changed it: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMergeDisjointAdoptsAlien(t *testing.T) {
+	cfg := DefaultConfig()
+	a := New(cfg)
+	b := New(cfg)
+	a.Train([]dataset.Rating{{User: 1, Item: 1, Value: 5}}, 300, rand.New(rand.NewSource(8)))
+	b.Train([]dataset.Rating{{User: 2, Item: 2, Value: 1}}, 300, rand.New(rand.NewSource(9)))
+	bPred := b.Predict(2, 2)
+	a.MergeWeighted(0.5, []model.Weighted{{M: b, W: 0.5}})
+	// Entity (2,2) existed only in b: weights renormalize to b alone, so
+	// a adopts b's values exactly (§III-C2).
+	if got := a.Predict(2, 2); got != bPred {
+		t.Fatalf("adopted prediction %v, want %v", got, bPred)
+	}
+	if a.NumItems() != 2 || a.NumUsers() != 2 {
+		t.Fatalf("union sizes wrong: %d users %d items", a.NumUsers(), a.NumItems())
+	}
+}
+
+func TestMergeWeightedAverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitStd = 0 // zero init so values are exactly the trained biases
+	a := New(cfg)
+	b := New(cfg)
+	// Handcraft: set biases via direct table access.
+	a.users.vec(0)
+	a.users.b[0] = 1.0
+	b.users.vec(0)
+	b.users.b[0] = 3.0
+	a.MergeWeighted(0.25, []model.Weighted{{M: b, W: 0.75}})
+	if got := a.users.b[0]; got != 0.25*1.0+0.75*3.0 {
+		t.Fatalf("weighted bias %v, want 2.5", got)
+	}
+}
+
+func TestMergeIncompatibleIgnored(t *testing.T) {
+	a := New(DefaultConfig())
+	a.users.vec(0)
+	a.users.b[0] = 2
+	other := DefaultConfig()
+	other.K = 20
+	b := New(other)
+	a.MergeWeighted(0.5, []model.Weighted{{M: b, W: 0.5}})
+	if a.users.b[0] != 2 {
+		t.Fatal("incompatible merge modified the model")
+	}
+}
+
+func TestParamCountAndWireSize(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	m.users.vec(0)
+	m.items.vec(3)
+	m.items.vec(9)
+	wantParams := (cfg.K + 1) * 3
+	if m.ParamCount() != wantParams {
+		t.Fatalf("params %d want %d", m.ParamCount(), wantParams)
+	}
+	buf, _ := m.Marshal()
+	if m.WireSize() != len(buf) {
+		t.Fatalf("wire %d vs marshal %d", m.WireSize(), len(buf))
+	}
+}
+
+// TestMergeCapacityStable guards against the capacity ping-pong regression:
+// repeated merging between two models must not balloon allocations.
+func TestMergeCapacityStable(t *testing.T) {
+	cfg := DefaultConfig()
+	a, b := New(cfg), New(cfg)
+	rng := rand.New(rand.NewSource(10))
+	data := []dataset.Rating{{User: 40, Item: 900, Value: 3}}
+	a.Train(data, 10, rng)
+	b.Train(data, 10, rng)
+	for i := 0; i < 40; i++ {
+		a.MergeWeighted(0.5, []model.Weighted{{M: b, W: 0.5}})
+		b.MergeWeighted(0.5, []model.Weighted{{M: a, W: 0.5}})
+	}
+	if cap := len(a.items.present); cap > 4*901 {
+		t.Fatalf("capacity ballooned to %d for max id 900", cap)
+	}
+}

@@ -1,0 +1,88 @@
+// Package model defines the recommender-model contract shared by the two
+// learners the paper evaluates (matrix factorization, §II-A-b, and the DNN
+// recommender, §II-A-c), so the REX protocol (merge-train-share-test,
+// Algorithm 2) is agnostic to which one is plugged in.
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"rex/internal/dataset"
+)
+
+// Model is a trainable rating predictor.
+//
+// Train performs a fixed number of SGD steps on the provided data — the
+// paper fixes the number of batches per epoch so epoch duration stays
+// constant as the raw-data store grows (§III-E).
+//
+// Marshal serializes every parameter for model sharing; the byte length is
+// exactly what a model-sharing node puts on the wire each epoch.
+type Model interface {
+	// Train runs `steps` SGD steps over the data, sampling with the rng.
+	Train(data []dataset.Rating, steps int, rng *rand.Rand)
+	// Predict returns the predicted rating for a (user, item) pair, using
+	// whatever embeddings are known; unknown entities fall back to bias
+	// terms or the global prior.
+	Predict(user, item uint32) float32
+	// Marshal serializes all parameters.
+	Marshal() ([]byte, error)
+	// Unmarshal replaces this model's parameters with the serialized ones.
+	Unmarshal(b []byte) error
+	// MergeWeighted folds alien models into this one: the receiver keeps
+	// selfW of its own parameters and adds each alien model scaled by its
+	// weight. Weights should sum to 1 with selfW. For parameters some
+	// models lack (e.g. item embeddings never seen by a node), weights are
+	// renormalized over the models that do have them (§III-C2: "when a
+	// node has no embedding for a given user or item, we consider only
+	// those of its neighbors").
+	MergeWeighted(selfW float64, others []Weighted)
+	// ParamCount returns the number of scalar parameters currently held.
+	ParamCount() int
+	// WireSize returns the exact byte length Marshal would produce, without
+	// serializing — the quantity model-sharing pays per message, which the
+	// simulator charges to the virtual network.
+	WireSize() int
+	// Clone returns an independent deep copy.
+	Clone() Model
+}
+
+// Weighted pairs a model with its averaging weight (Metropolis–Hastings for
+// D-PSGD, 1/2 for RMW pairwise averaging).
+type Weighted struct {
+	M Model
+	W float64
+}
+
+// RMSE computes the root mean squared error of the model over the data,
+// clamping predictions into the valid star range — the paper's test metric
+// (§IV-A4).
+func RMSE(m Model, data []dataset.Rating) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var se float64
+	for _, r := range data {
+		p := float64(m.Predict(r.User, r.Item))
+		if p < 0.5 {
+			p = 0.5
+		}
+		if p > 5.0 {
+			p = 5.0
+		}
+		d := p - float64(r.Value)
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(data)))
+}
+
+// MarshaledSize returns the wire size of the model's serialization,
+// tolerating errors by returning 0 (used only for metrics).
+func MarshaledSize(m Model) int {
+	b, err := m.Marshal()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

@@ -1,0 +1,68 @@
+package movielens
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rex/internal/dataset"
+)
+
+// LoadCSV reads real MovieLens ratings.csv content (header:
+// userId,movieId,rating,timestamp). User and item ids are remapped to dense
+// 0-based ids in first-appearance order. maxUsers > 0 caps the number of
+// distinct users kept, reproducing the paper's truncation of the 25M dump
+// (Table I footnote); later users' rows are skipped.
+func LoadCSV(r io.Reader, maxUsers int) (*dataset.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("movielens: reading header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("movielens: malformed header %q", header)
+	}
+
+	userIDs := make(map[string]uint32)
+	itemIDs := make(map[string]uint32)
+	var ratings []dataset.Rating
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("movielens: reading row: %w", err)
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("movielens: short row %q", rec)
+		}
+		uid, ok := userIDs[rec[0]]
+		if !ok {
+			if maxUsers > 0 && len(userIDs) >= maxUsers {
+				continue // truncated user; skip all their rows
+			}
+			uid = uint32(len(userIDs))
+			userIDs[rec[0]] = uid
+		}
+		iid, ok := itemIDs[rec[1]]
+		if !ok {
+			iid = uint32(len(itemIDs))
+			itemIDs[rec[1]] = iid
+		}
+		v, err := strconv.ParseFloat(rec[2], 32)
+		if err != nil {
+			return nil, fmt.Errorf("movielens: bad rating %q: %w", rec[2], err)
+		}
+		ratings = append(ratings, dataset.Rating{User: uid, Item: iid, Value: float32(v)})
+	}
+	return &dataset.Dataset{
+		Ratings:  ratings,
+		NumUsers: len(userIDs),
+		NumItems: len(itemIDs),
+	}, nil
+}

@@ -1,0 +1,65 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, the paper's §IV-A3b
+// choice) with decoupled weight decay. Paper hyperparameters: learning
+// rate 1e-4, weight decay 1e-5.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t     int
+	state map[*Param]*adamState
+}
+
+type adamState struct {
+	m, v []float32
+}
+
+// NewAdam creates an optimizer with the usual defaults (β1=0.9, β2=0.999,
+// ε=1e-8) and the given learning rate and weight decay.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		state: make(map[*Param]*adamState),
+	}
+}
+
+// Step applies one update to every parameter from its accumulated gradient,
+// then leaves gradients untouched (callers zero them per batch).
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		st, ok := a.state[p]
+		if !ok {
+			st = &adamState{m: make([]float32, len(p.W)), v: make([]float32, len(p.W))}
+			a.state[p] = st
+		}
+		b1 := float32(a.Beta1)
+		b2 := float32(a.Beta2)
+		for i, g := range p.G {
+			// Decoupled weight decay, AdamW-style.
+			if a.WeightDecay != 0 {
+				p.W[i] -= float32(a.LR * a.WeightDecay * float64(p.W[i]))
+			}
+			st.m[i] = b1*st.m[i] + (1-b1)*g
+			st.v[i] = b2*st.v[i] + (1-b2)*g*g
+			mhat := float64(st.m[i]) / bc1
+			vhat := float64(st.v[i]) / bc2
+			p.W[i] -= float32(a.LR * mhat / (math.Sqrt(vhat) + a.Eps))
+		}
+	}
+}
+
+// Reset drops all moment state and the step counter, used after a merge
+// replaces parameters wholesale (stale moments would mis-scale updates).
+func (a *Adam) Reset() {
+	a.t = 0
+	a.state = make(map[*Param]*adamState)
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of the MLP. Forward consumes the
+// previous activation; Backward consumes dLoss/dOutput, accumulates
+// parameter gradients, and returns dLoss/dInput.
+type Layer interface {
+	Forward(x *Mat, train bool) *Mat
+	Backward(dy *Mat) *Mat
+	Params() []*Param
+}
+
+// Linear is a fully connected layer: y = xW + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+	x       *Mat // cached input for backward
+}
+
+// NewLinear creates a Linear layer with Kaiming-style initialization
+// (std = sqrt(2/in)), appropriate for the ReLU stack that follows.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: newParam("linear.w", in*out), B: newParam("linear.b", out)}
+	initNormal(l.W.W, math.Sqrt(2/float64(in)), rng)
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *Mat, train bool) *Mat {
+	l.x = x
+	w := &Mat{R: l.In, C: l.Out, V: l.W.W}
+	y := MatMul(x, w)
+	for i := 0; i < y.R; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += l.B.W[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dy *Mat) *Mat {
+	// dW += xᵀ dy ; db += column sums of dy ; dx = dy Wᵀ
+	dw := MatMulATransposed(l.x, dy)
+	for i, v := range dw.V {
+		l.W.G[i] += v
+	}
+	for i := 0; i < dy.R; i++ {
+		row := dy.Row(i)
+		for j := range row {
+			l.B.G[j] += row[j]
+		}
+	}
+	w := &Mat{R: l.In, C: l.Out, V: l.W.W}
+	return MatMulBTransposed(dy, w)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Mat, train bool) *Mat {
+	y := x.Clone()
+	if cap(r.mask) < len(y.V) {
+		r.mask = make([]bool, len(y.V))
+	}
+	r.mask = r.mask[:len(y.V)]
+	for i, v := range y.V {
+		if v <= 0 {
+			y.V[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *Mat) *Mat {
+	dx := dy.Clone()
+	for i := range dx.V {
+		if !r.mask[i] {
+			dx.V[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1-P) (inverted dropout), matching the paper's rates:
+// 0.02 after the embedding layer, 0.15 after the first two hidden layers.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer. In eval mode it is the identity.
+func (d *Dropout) Forward(x *Mat, train bool) *Mat {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.V) {
+		d.mask = make([]bool, len(y.V))
+	}
+	d.mask = d.mask[:len(y.V)]
+	scale := float32(1 / (1 - d.P))
+	for i := range y.V {
+		if d.rng.Float64() < d.P {
+			y.V[i] = 0
+			d.mask[i] = false
+		} else {
+			y.V[i] *= scale
+			d.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *Mat) *Mat {
+	if d.mask == nil {
+		return dy
+	}
+	dx := dy.Clone()
+	scale := float32(1 / (1 - d.P))
+	for i := range dx.V {
+		if d.mask[i] {
+			dx.V[i] *= scale
+		} else {
+			dx.V[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// EmbeddingPair holds the user and item embedding tables. Forward looks up
+// and concatenates the two embeddings per example — the paper's
+// "intermediate embedding layer ... equivalent to the lower-rank matrices"
+// of MF (§II-A-c). Tables are dense over the global id space, as in the
+// paper's PyTorch implementation where every node instantiates the full
+// model.
+type EmbeddingPair struct {
+	NumUsers, NumItems, Dim int
+	Users, Items            *Param
+	bu, bi                  []uint32 // cached ids for backward
+}
+
+// NewEmbeddingPair allocates and initializes both tables with N(0, 0.05).
+func NewEmbeddingPair(numUsers, numItems, dim int, rng *rand.Rand) *EmbeddingPair {
+	e := &EmbeddingPair{
+		NumUsers: numUsers, NumItems: numItems, Dim: dim,
+		Users: newParam("emb.users", numUsers*dim),
+		Items: newParam("emb.items", numItems*dim),
+	}
+	initNormal(e.Users.W, 0.05, rng)
+	initNormal(e.Items.W, 0.05, rng)
+	return e
+}
+
+// Lookup produces the concatenated (user‖item) embedding batch.
+func (e *EmbeddingPair) Lookup(users, items []uint32) *Mat {
+	if len(users) != len(items) {
+		panic("nn: user/item batch length mismatch")
+	}
+	e.bu = append(e.bu[:0], users...)
+	e.bi = append(e.bi[:0], items...)
+	out := NewMat(len(users), 2*e.Dim)
+	for r := range users {
+		row := out.Row(r)
+		copy(row[:e.Dim], e.Users.W[int(users[r])*e.Dim:(int(users[r])+1)*e.Dim])
+		copy(row[e.Dim:], e.Items.W[int(items[r])*e.Dim:(int(items[r])+1)*e.Dim])
+	}
+	return out
+}
+
+// Accumulate scatters the concatenated gradient back into the tables.
+func (e *EmbeddingPair) Accumulate(d *Mat) {
+	for r := 0; r < d.R; r++ {
+		row := d.Row(r)
+		ug := e.Users.G[int(e.bu[r])*e.Dim : (int(e.bu[r])+1)*e.Dim]
+		ig := e.Items.G[int(e.bi[r])*e.Dim : (int(e.bi[r])+1)*e.Dim]
+		for k := 0; k < e.Dim; k++ {
+			ug[k] += row[k]
+			ig[k] += row[e.Dim+k]
+		}
+	}
+}
+
+// Params returns both tables.
+func (e *EmbeddingPair) Params() []*Param { return []*Param{e.Users, e.Items} }

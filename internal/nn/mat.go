@@ -1,0 +1,138 @@
+// Package nn is a from-scratch neural-network substrate sufficient for the
+// paper's DNN recommender (§II-A-c, §IV-A3b): an embedding pair feeding a
+// stack of linear+ReLU hidden layers with dropout, trained with Adam and
+// weight decay on MSE loss. Only the stdlib is used.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mat is a dense row-major float32 matrix.
+type Mat struct {
+	R, C int
+	V    []float32
+}
+
+// NewMat allocates an R x C zero matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic("nn: negative matrix dimension")
+	}
+	return &Mat{R: r, C: c, V: make([]float32, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float32 { return m.V[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float32) { m.V[i*m.C+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Mat) Row(i int) []float32 { return m.V[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.R, m.C)
+	copy(c.V, m.V)
+	return c
+}
+
+// String renders dimensions, for debugging.
+func (m *Mat) String() string { return fmt.Sprintf("Mat(%dx%d)", m.R, m.C) }
+
+// MatMul computes a x b into a fresh matrix. Inner dimensions must agree.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("nn: matmul %dx%d x %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.C)
+	// ikj loop order keeps the inner loop streaming over contiguous rows
+	// of b and out, which matters for the larger embedding batches.
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.C; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATransposed computes aᵀ x b (a is treated transposed).
+func MatMulATransposed(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("nn: matmulAT %dx%d x %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.C, b.C)
+	for r := 0; r < a.R; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulBTransposed computes a x bᵀ.
+func MatMulBTransposed(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic(fmt.Sprintf("nn: matmulBT %dx%d x %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Param is a learnable tensor: values plus an accumulated gradient of the
+// same shape. Optimizer state is owned by the optimizer, keyed by pointer
+// identity.
+type Param struct {
+	Name string
+	W    []float32
+	G    []float32
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, W: make([]float32, n), G: make([]float32, n)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// initNormal fills w with N(0, std) values.
+func initNormal(w []float32, std float64, rng *rand.Rand) {
+	for i := range w {
+		w[i] = float32(rng.NormFloat64() * std)
+	}
+}

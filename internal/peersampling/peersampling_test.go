@@ -1,0 +1,183 @@
+package peersampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"rex/internal/topology"
+)
+
+func service(t *testing.T, n int, seed int64) *Service {
+	t.Helper()
+	return New(n, DefaultConfig(), rand.New(rand.NewSource(seed)))
+}
+
+func TestViewBounds(t *testing.T) {
+	s := service(t, 60, 1)
+	for r := 0; r < 30; r++ {
+		s.Step()
+	}
+	for i := 0; i < s.N(); i++ {
+		v := s.View(i)
+		if len(v) == 0 || len(v) > DefaultConfig().ViewSize {
+			t.Fatalf("node %d view size %d", i, len(v))
+		}
+		for _, d := range v {
+			if d.ID == i {
+				t.Fatalf("node %d holds itself in its view", i)
+			}
+			if d.ID < 0 || d.ID >= s.N() {
+				t.Fatalf("bad id %d", d.ID)
+			}
+		}
+	}
+}
+
+func TestNoDuplicateDescriptors(t *testing.T) {
+	s := service(t, 40, 2)
+	for r := 0; r < 20; r++ {
+		s.Step()
+	}
+	for i := 0; i < s.N(); i++ {
+		seen := map[int]bool{}
+		for _, d := range s.View(i) {
+			if seen[d.ID] {
+				t.Fatalf("node %d has duplicate descriptor %d", i, d.ID)
+			}
+			seen[d.ID] = true
+		}
+	}
+}
+
+func TestOverlayStaysConnected(t *testing.T) {
+	s := service(t, 80, 3)
+	for r := 0; r < 40; r++ {
+		s.Step()
+		if r%10 == 9 {
+			if !topology.IsConnected(s.Snapshot()) {
+				t.Fatalf("overlay disconnected at round %d", r)
+			}
+		}
+	}
+	g := s.Snapshot()
+	if d := topology.Diameter(g); d <= 0 || d > 6 {
+		t.Fatalf("overlay diameter %d, expected small", d)
+	}
+}
+
+func TestViewsRandomizeAwayFromRing(t *testing.T) {
+	s := service(t, 100, 4)
+	for r := 0; r < 40; r++ {
+		s.Step()
+	}
+	// After mixing, node 0's view should not be just its ring successors.
+	ringOnly := true
+	for _, d := range s.View(0) {
+		if d.ID > DefaultConfig().ViewSize && d.ID < 100-1 {
+			ringOnly = false
+			break
+		}
+	}
+	if ringOnly {
+		t.Fatal("views never mixed beyond the bootstrap ring")
+	}
+}
+
+func TestSelfHealingAfterChurn(t *testing.T) {
+	s := service(t, 60, 5)
+	for r := 0; r < 10; r++ {
+		s.Step()
+	}
+	// Kill a third of the network.
+	for i := 0; i < 20; i++ {
+		s.Kill(i * 3)
+	}
+	for r := 0; r < 30; r++ {
+		s.Step()
+	}
+	// Dead descriptors age out: live nodes' views reference live peers
+	// predominantly, and the live overlay is connected.
+	g := s.Snapshot()
+	live := s.LiveNodes()
+	if len(live) != 40 {
+		t.Fatalf("live count %d", len(live))
+	}
+	// Check connectivity restricted to live nodes: build the live-induced
+	// subgraph via components containing live nodes.
+	comps := topology.Components(g)
+	var liveComp []int
+	for _, c := range comps {
+		hasLive := false
+		for _, v := range c {
+			if s.alive[v] {
+				hasLive = true
+				break
+			}
+		}
+		if hasLive {
+			if liveComp != nil {
+				t.Fatalf("live overlay split into multiple components")
+			}
+			liveComp = c
+		}
+	}
+	deadRefs := 0
+	total := 0
+	for _, i := range live {
+		for _, d := range s.View(i) {
+			total++
+			if !s.alive[d.ID] {
+				deadRefs++
+			}
+		}
+	}
+	if total == 0 || float64(deadRefs)/float64(total) > 0.2 {
+		t.Fatalf("views still reference the dead: %d/%d", deadRefs, total)
+	}
+}
+
+func TestKillIdempotentAndBounds(t *testing.T) {
+	s := service(t, 10, 6)
+	s.Kill(3)
+	s.Kill(3)
+	s.Kill(-1) // no-op
+	s.Kill(99) // no-op
+	if len(s.LiveNodes()) != 9 {
+		t.Fatalf("live %d", len(s.LiveNodes()))
+	}
+	s.Step() // must not panic with a dead node present
+}
+
+func TestSnapshotUsableBySimulator(t *testing.T) {
+	s := service(t, 30, 7)
+	for r := 0; r < 15; r++ {
+		s.Step()
+	}
+	g := s.Snapshot()
+	if g.N() != 30 {
+		t.Fatalf("graph size %d", g.N())
+	}
+	if g.AvgDegree() < float64(DefaultConfig().ViewSize)/2 {
+		t.Fatalf("degree %.1f too low for view size %d", g.AvgDegree(), DefaultConfig().ViewSize)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a := service(t, 25, 8)
+	b := service(t, 25, 8)
+	for r := 0; r < 10; r++ {
+		a.Step()
+		b.Step()
+	}
+	for i := 0; i < 25; i++ {
+		va, vb := a.View(i), b.View(i)
+		if len(va) != len(vb) {
+			t.Fatalf("node %d view sizes differ", i)
+		}
+		for k := range va {
+			if va[k] != vb[k] {
+				t.Fatalf("node %d descriptor %d differs", i, k)
+			}
+		}
+	}
+}

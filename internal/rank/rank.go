@@ -1,0 +1,136 @@
+// Package rank turns trained rating predictors into recommenders: top-N
+// recommendation lists and the ranking metrics used to evaluate them
+// (precision@k, recall@k, NDCG@k). The paper evaluates RMSE (§IV-A4); a
+// deployed recommender additionally serves ranked lists, which is what
+// this layer provides on top of any model.Model.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"rex/internal/dataset"
+	"rex/internal/model"
+)
+
+// Item is one entry of a recommendation list.
+type Item struct {
+	ID    uint32
+	Score float32
+}
+
+// TopN returns the n highest-predicted items for a user, excluding the
+// items in seen (typically the user's training interactions). Candidates
+// are 0..numItems-1. Ties break toward lower item ids for determinism.
+func TopN(m model.Model, user uint32, numItems, n int, seen map[uint32]bool) []Item {
+	if n <= 0 || numItems <= 0 {
+		return nil
+	}
+	items := make([]Item, 0, numItems)
+	for i := 0; i < numItems; i++ {
+		id := uint32(i)
+		if seen[id] {
+			continue
+		}
+		items = append(items, Item{ID: id, Score: m.Predict(user, id)})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Score != items[b].Score {
+			return items[a].Score > items[b].Score
+		}
+		return items[a].ID < items[b].ID
+	})
+	if len(items) > n {
+		items = items[:n]
+	}
+	return items
+}
+
+// SeenSet builds the exclusion set of items a user interacted with.
+func SeenSet(ratings []dataset.Rating, user uint32) map[uint32]bool {
+	out := make(map[uint32]bool)
+	for _, r := range ratings {
+		if r.User == user {
+			out[r.Item] = true
+		}
+	}
+	return out
+}
+
+// Metrics aggregates ranking quality over a user population.
+type Metrics struct {
+	PrecisionAtK float64
+	RecallAtK    float64
+	NDCGAtK      float64
+	Users        int // users with at least one relevant test item
+}
+
+// RelevanceThreshold is the star value at and above which a held-out
+// rating counts as "relevant" for ranking metrics (liked items).
+const RelevanceThreshold = 4.0
+
+// Evaluate computes mean precision@k, recall@k and NDCG@k over all users
+// present in test. Train interactions are excluded from candidate lists.
+func Evaluate(m model.Model, train, test []dataset.Rating, numItems, k int) Metrics {
+	if k <= 0 {
+		return Metrics{}
+	}
+	trainSeen := make(map[uint32]map[uint32]bool)
+	for _, r := range train {
+		mset, ok := trainSeen[r.User]
+		if !ok {
+			mset = make(map[uint32]bool)
+			trainSeen[r.User] = mset
+		}
+		mset[r.Item] = true
+	}
+	relevant := make(map[uint32]map[uint32]bool)
+	for _, r := range test {
+		if r.Value < RelevanceThreshold {
+			continue
+		}
+		mset, ok := relevant[r.User]
+		if !ok {
+			mset = make(map[uint32]bool)
+			relevant[r.User] = mset
+		}
+		mset[r.Item] = true
+	}
+
+	var out Metrics
+	for user, rel := range relevant {
+		if len(rel) == 0 {
+			continue
+		}
+		rec := TopN(m, user, numItems, k, trainSeen[user])
+		hits := 0
+		dcg := 0.0
+		for pos, it := range rec {
+			if rel[it.ID] {
+				hits++
+				dcg += 1 / math.Log2(float64(pos)+2)
+			}
+		}
+		ideal := 0.0
+		n := len(rel)
+		if n > k {
+			n = k
+		}
+		for pos := 0; pos < n; pos++ {
+			ideal += 1 / math.Log2(float64(pos)+2)
+		}
+		out.PrecisionAtK += float64(hits) / float64(k)
+		out.RecallAtK += float64(hits) / float64(len(rel))
+		if ideal > 0 {
+			out.NDCGAtK += dcg / ideal
+		}
+		out.Users++
+	}
+	if out.Users > 0 {
+		f := float64(out.Users)
+		out.PrecisionAtK /= f
+		out.RecallAtK /= f
+		out.NDCGAtK /= f
+	}
+	return out
+}

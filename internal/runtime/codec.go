@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/model"
+)
+
+// Message kinds on the wire. Attestation traffic is cleartext (it carries
+// no secrets — paper Algorithm 1 commentary); gossip payloads are sealed
+// by the per-pair AES-GCM channel once attestation completes.
+const (
+	kindAttest byte = 1 // JSON attestation message (hello or quote)
+	kindGossip byte = 2 // sealed protocol payload
+)
+
+// wrap prefixes the kind byte.
+func wrap(kind byte, body []byte) []byte {
+	out := make([]byte, 1+len(body))
+	out[0] = kind
+	copy(out[1:], body)
+	return out
+}
+
+// payload body kinds.
+const (
+	payloadEmpty byte = 0
+	payloadModel byte = 1
+	payloadData  byte = 2
+)
+
+// EncodePayload serializes a protocol payload (pre-encryption): sender id,
+// degree, kind, then the model or ratings bytes.
+func EncodePayload(p core.Payload) ([]byte, error) {
+	var body []byte
+	kind := payloadEmpty
+	switch {
+	case p.Model != nil:
+		b, err := p.Model.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: marshaling model: %w", err)
+		}
+		body, kind = b, payloadModel
+	case p.Data != nil:
+		body, kind = dataset.EncodeRatings(p.Data), payloadData
+	}
+	out := make([]byte, 9+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(p.From))
+	binary.LittleEndian.PutUint32(out[4:], uint32(p.Degree))
+	out[8] = kind
+	copy(out[9:], body)
+	return out, nil
+}
+
+// DecodePayload parses EncodePayload output. newModel supplies an empty
+// model for unmarshaling when the payload carries parameters.
+func DecodePayload(b []byte, newModel func() model.Model) (core.Payload, error) {
+	if len(b) < 9 {
+		return core.Payload{}, fmt.Errorf("runtime: payload too short (%d bytes)", len(b))
+	}
+	p := core.Payload{
+		From:   int(binary.LittleEndian.Uint32(b)),
+		Degree: int(binary.LittleEndian.Uint32(b[4:])),
+	}
+	body := b[9:]
+	switch b[8] {
+	case payloadEmpty:
+	case payloadModel:
+		m := newModel()
+		if err := m.Unmarshal(body); err != nil {
+			return core.Payload{}, fmt.Errorf("runtime: unmarshaling model: %w", err)
+		}
+		p.Model = m
+	case payloadData:
+		rs, _, err := dataset.DecodeRatings(body)
+		if err != nil {
+			return core.Payload{}, fmt.Errorf("runtime: decoding ratings: %w", err)
+		}
+		p.Data = rs
+	default:
+		return core.Payload{}, fmt.Errorf("runtime: unknown payload kind %d", b[8])
+	}
+	return p, nil
+}

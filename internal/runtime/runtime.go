@@ -1,0 +1,434 @@
+package runtime
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/gossip"
+	"rex/internal/model"
+	"rex/internal/seccha"
+	"rex/internal/topology"
+)
+
+// Config drives one live node.
+type Config struct {
+	// Node is the enclaved protocol state (Algorithm 2).
+	Node *core.Node
+	// Endpoint is the untrusted network shell (Algorithm 1).
+	Endpoint Endpoint
+	// Neighbors lists the node's peers in the communication graph.
+	Neighbors []int
+	// Epochs is the number of merge-train-share-test rounds to run.
+	Epochs int
+
+	// Secure enables REX's protections: mutual attestation before any
+	// exchange, and AES-GCM sealing of every gossip payload. False runs
+	// the paper's "native" build: same protocol, plaintext, unattested.
+	Secure bool
+	// Platform, Infra and Measurement configure attestation when Secure.
+	Platform    *attest.Platform
+	Infra       *attest.Infrastructure
+	Measurement attest.Measurement
+	// Entropy supplies randomness for keys and nonces; defaults to
+	// crypto/rand.Reader.
+	Entropy io.Reader
+
+	// NewModel constructs an empty model for decoding model-sharing
+	// payloads; required in ModelSharing mode.
+	NewModel func() model.Model
+
+	// OnEpoch, when set, observes each completed epoch's test RMSE.
+	OnEpoch func(epoch int, rmse float64)
+
+	// RoundTimeout bounds how long an epoch waits for each neighbor's
+	// message. Zero means wait forever (the paper's failure-free
+	// assumption, §III-D). With a timeout, peers that miss a round are
+	// declared failed and dropped from the neighbor set — the
+	// timeout-based failure detection the paper defers to future work.
+	RoundTimeout time.Duration
+}
+
+// Stats reports one node's run.
+type Stats struct {
+	// Stage durations accumulated over all epochs (wall clock).
+	Merge, Train, Share, Test time.Duration
+	// BytesIn/BytesOut count gossip traffic (post-encryption sizes).
+	BytesIn, BytesOut int64
+	// Attested counts completed attestation handshakes.
+	Attested int
+	// PeersLost counts neighbors dropped by the failure detector.
+	PeersLost int
+	// RMSE is the per-epoch test error trajectory.
+	RMSE []float64
+	// FinalRMSE is the last entry of RMSE.
+	FinalRMSE float64
+}
+
+// Run executes one node until Epochs complete. It returns after the
+// node's own last epoch; peers may still be finishing theirs.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Node == nil || cfg.Endpoint == nil {
+		return nil, fmt.Errorf("runtime: node and endpoint are required")
+	}
+	if cfg.Entropy == nil {
+		cfg.Entropy = rand.Reader
+	}
+	r := &runner{
+		cfg:       cfg,
+		stats:     &Stats{},
+		neighbors: append([]int(nil), cfg.Neighbors...),
+		pending:   make(map[int][][]byte),
+	}
+	if cfg.Secure {
+		if cfg.Platform == nil || cfg.Infra == nil {
+			return nil, fmt.Errorf("runtime: secure mode requires a platform and infrastructure")
+		}
+		if err := r.attestAll(); err != nil {
+			return nil, fmt.Errorf("runtime: attestation: %w", err)
+		}
+	}
+	return r.stats, r.loop()
+}
+
+type runner struct {
+	cfg      Config
+	stats    *Stats
+	channels map[int]*seccha.Channel
+	// neighbors is the live neighbor set; the failure detector shrinks it.
+	neighbors []int
+	// pending holds gossip frames per peer that arrived ahead of the
+	// epoch that will consume them (peers may run one epoch ahead).
+	pending map[int][][]byte
+}
+
+// attestAll performs the §III-A mutual attestation with every neighbor:
+// hellos out, quotes exchanged, channels derived.
+func (r *runner) attestAll() error {
+	exchanges := make(map[int]*attest.Exchange, len(r.cfg.Neighbors))
+	for _, nb := range r.cfg.Neighbors {
+		ex, err := attest.NewExchange(r.cfg.Platform, r.cfg.Infra, r.cfg.Measurement, r.cfg.Entropy)
+		if err != nil {
+			return err
+		}
+		exchanges[nb] = ex
+		hello, err := ex.Hello()
+		if err != nil {
+			return err
+		}
+		if err := r.cfg.Endpoint.Send(nb, wrap(kindAttest, hello)); err != nil {
+			return err
+		}
+	}
+	r.channels = make(map[int]*seccha.Channel, len(r.cfg.Neighbors))
+	remaining := len(exchanges)
+	for remaining > 0 {
+		env, ok := <-r.cfg.Endpoint.Inbox()
+		if !ok {
+			return fmt.Errorf("endpoint closed with %d peers unattested", remaining)
+		}
+		if len(env.Data) == 0 {
+			return fmt.Errorf("empty frame from %d", env.From)
+		}
+		if env.Data[0] == kindGossip {
+			// A peer that finished attesting us may start epoch 0 while
+			// we still attest others; buffer its gossip for the loop.
+			r.pending[env.From] = append(r.pending[env.From], env.Data[1:])
+			continue
+		}
+		if env.Data[0] != kindAttest {
+			return fmt.Errorf("unknown frame kind %d from %d", env.Data[0], env.From)
+		}
+		ex, ok := exchanges[env.From]
+		if !ok {
+			return fmt.Errorf("attestation message from non-neighbor %d", env.From)
+		}
+		reply, err := ex.HandleMessage(env.Data[1:])
+		if err != nil {
+			return fmt.Errorf("peer %d: %w", env.From, err)
+		}
+		if reply != nil {
+			if err := r.cfg.Endpoint.Send(env.From, wrap(kindAttest, reply)); err != nil {
+				return err
+			}
+		}
+		if ex.Complete() && r.channels[env.From] == nil {
+			key, err := ex.ChannelKey()
+			if err != nil {
+				return err
+			}
+			ch, err := seccha.NewChannel(key, r.cfg.Node.Cfg.ID < env.From)
+			if err != nil {
+				return err
+			}
+			r.channels[env.From] = ch
+			r.stats.Attested++
+			remaining--
+		}
+	}
+	return nil
+}
+
+// loop runs the epochs. Epoch 0 trains on local data only; every later
+// epoch first gathers one gossip frame from each neighbor (the Algorithm 2
+// line 13 barrier — RMW peers send empty notifications).
+func (r *runner) loop() error {
+	for e := 0; e < r.cfg.Epochs; e++ {
+		deg := len(r.neighbors)
+		// --- gather + merge ---
+		t0 := time.Now()
+		var payloads []core.Payload
+		if e > 0 {
+			frames, err := r.gatherRound()
+			if err != nil {
+				return fmt.Errorf("epoch %d: %w", e, err)
+			}
+			for from, frame := range frames {
+				pl, err := r.openPayload(from, frame)
+				if err != nil {
+					return fmt.Errorf("epoch %d peer %d: %w", e, from, err)
+				}
+				payloads = append(payloads, pl)
+			}
+		}
+		r.cfg.Node.Merge(payloads, deg)
+		r.stats.Merge += time.Since(t0)
+
+		// --- train ---
+		t0 = time.Now()
+		r.cfg.Node.Train()
+		r.stats.Train += time.Since(t0)
+
+		// --- share ---
+		t0 = time.Now()
+		if err := r.shareRound(); err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		r.stats.Share += time.Since(t0)
+
+		// --- test ---
+		t0 = time.Now()
+		rmse := r.cfg.Node.TestRMSE()
+		r.stats.Test += time.Since(t0)
+		r.stats.RMSE = append(r.stats.RMSE, rmse)
+		r.stats.FinalRMSE = rmse
+		if r.cfg.OnEpoch != nil {
+			r.cfg.OnEpoch(e, rmse)
+		}
+	}
+	return nil
+}
+
+// gatherRound collects one frame from every live neighbor, buffering any
+// second frame a fast peer sends early. With RoundTimeout set, neighbors
+// that miss the deadline are declared failed and dropped.
+func (r *runner) gatherRound() (map[int][]byte, error) {
+	need := make(map[int]bool, len(r.neighbors))
+	for _, nb := range r.neighbors {
+		need[nb] = true
+	}
+	got := make(map[int][]byte, len(need))
+	// Serve from the ahead-of-time buffer first.
+	for nb := range need {
+		if q := r.pending[nb]; len(q) > 0 {
+			got[nb] = q[0]
+			r.pending[nb] = q[1:]
+			delete(need, nb)
+		}
+	}
+	var deadline <-chan time.Time
+	if r.cfg.RoundTimeout > 0 {
+		timer := time.NewTimer(r.cfg.RoundTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for len(need) > 0 {
+		select {
+		case env, ok := <-r.cfg.Endpoint.Inbox():
+			if !ok {
+				return nil, fmt.Errorf("endpoint closed waiting for %d peers", len(need))
+			}
+			if len(env.Data) == 0 || env.Data[0] != kindGossip {
+				continue // stray attestation retransmit; ignore
+			}
+			frame := env.Data[1:]
+			if need[env.From] {
+				got[env.From] = frame
+				delete(need, env.From)
+			} else {
+				r.pending[env.From] = append(r.pending[env.From], frame)
+			}
+		case <-deadline:
+			// Failure detection: everyone still missing is declared dead.
+			for nb := range need {
+				r.dropPeer(nb)
+				delete(need, nb)
+			}
+		}
+	}
+	return got, nil
+}
+
+// dropPeer removes a failed neighbor from the live set.
+func (r *runner) dropPeer(id int) {
+	for i, nb := range r.neighbors {
+		if nb == id {
+			r.neighbors = append(r.neighbors[:i], r.neighbors[i+1:]...)
+			r.stats.PeersLost++
+			return
+		}
+	}
+}
+
+// openPayload decrypts (when secure) and decodes one gossip frame.
+func (r *runner) openPayload(from int, frame []byte) (core.Payload, error) {
+	r.stats.BytesIn += int64(len(frame))
+	body := frame
+	if r.cfg.Secure {
+		ch := r.channels[from]
+		if ch == nil {
+			return core.Payload{}, fmt.Errorf("gossip from unattested peer")
+		}
+		pt, err := ch.Open(frame)
+		if err != nil {
+			return core.Payload{}, err
+		}
+		body = pt
+	}
+	newModel := r.cfg.NewModel
+	if newModel == nil {
+		newModel = func() model.Model { return nil }
+	}
+	return DecodePayload(body, newModel)
+}
+
+// shareRound sends this epoch's payload to the scheme's targets and empty
+// notifications to the remaining neighbors (keeping the barrier moving).
+func (r *runner) shareRound() error {
+	node := r.cfg.Node
+	deg := len(r.neighbors)
+	targets := map[int]bool{}
+	switch node.Cfg.Algo {
+	case gossip.RMW:
+		if deg > 0 {
+			targets[r.neighbors[node.RNG().Intn(deg)]] = true
+		}
+	case gossip.DPSGD:
+		for _, nb := range r.neighbors {
+			targets[nb] = true
+		}
+	}
+	payload := node.Share(deg, false)
+	full, err := EncodePayload(payload)
+	if err != nil {
+		return err
+	}
+	empty, err := EncodePayload(core.Payload{From: node.Cfg.ID, Degree: deg})
+	if err != nil {
+		return err
+	}
+	for _, nb := range r.neighbors {
+		body := empty
+		if targets[nb] {
+			body = full
+		}
+		if r.cfg.Secure {
+			body = r.channels[nb].Seal(body)
+		}
+		r.stats.BytesOut += int64(len(body))
+		if err := r.cfg.Endpoint.Send(nb, wrap(kindGossip, body)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClusterConfig runs a whole REX deployment in one process over the
+// in-proc transport — the shape of the paper's 8-node experiment with two
+// enclaves per physical platform (§IV-C).
+type ClusterConfig struct {
+	Graph  *topology.Graph
+	Nodes  []*core.Node
+	Epochs int
+	// Secure enables attestation + encryption.
+	Secure bool
+	// NodesPerPlatform groups enclaves onto simulated SGX machines
+	// (paper: 2 processes per machine). Defaults to 2.
+	NodesPerPlatform int
+	// NewModel decodes model-sharing payloads.
+	NewModel func() model.Model
+	// Entropy defaults to crypto/rand.Reader.
+	Entropy io.Reader
+}
+
+// RunCluster executes every node concurrently and returns their stats in
+// node order.
+func RunCluster(cfg ClusterConfig) ([]*Stats, error) {
+	n := cfg.Graph.N()
+	if len(cfg.Nodes) != n {
+		return nil, fmt.Errorf("runtime: %d nodes for %d-vertex graph", len(cfg.Nodes), n)
+	}
+	if cfg.NodesPerPlatform <= 0 {
+		cfg.NodesPerPlatform = 2
+	}
+	eps := NewChanNet(n)
+	meas := attest.MeasureCode([]byte("rex-enclave-v1"))
+
+	var inf *attest.Infrastructure
+	platforms := make([]*attest.Platform, n)
+	if cfg.Secure {
+		inf = attest.NewInfrastructure()
+		var current *attest.Platform
+		for i := 0; i < n; i++ {
+			if i%cfg.NodesPerPlatform == 0 {
+				entropy := cfg.Entropy
+				if entropy == nil {
+					entropy = rand.Reader
+				}
+				p, err := inf.NewPlatform(entropy)
+				if err != nil {
+					return nil, err
+				}
+				current = p
+			}
+			platforms[i] = current
+		}
+	}
+
+	stats := make([]*Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := Run(Config{
+				Node:        cfg.Nodes[i],
+				Endpoint:    eps[i],
+				Neighbors:   cfg.Graph.Neighbors(i),
+				Epochs:      cfg.Epochs,
+				Secure:      cfg.Secure,
+				Platform:    platforms[i],
+				Infra:       inf,
+				Measurement: meas,
+				Entropy:     cfg.Entropy,
+				NewModel:    cfg.NewModel,
+			})
+			stats[i], errs[i] = st, err
+		}(i)
+	}
+	wg.Wait()
+	for i := range eps {
+		eps[i].Close()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("runtime: node %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,410 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/movielens"
+	"rex/internal/topology"
+)
+
+func TestChanNetDelivery(t *testing.T) {
+	eps := NewChanNet(3)
+	if err := eps[0].Send(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	env := <-eps[2].Inbox()
+	if env.From != 0 || string(env.Data) != "hi" {
+		t.Fatalf("envelope %+v", env)
+	}
+	if err := eps[0].Send(9, nil); err == nil {
+		t.Fatal("send to missing peer accepted")
+	}
+	eps[1].Close()
+	eps[1].Close() // double close is safe
+}
+
+func TestChanNetCopiesData(t *testing.T) {
+	eps := NewChanNet(2)
+	buf := []byte("abc")
+	eps[0].Send(1, buf)
+	buf[0] = 'X'
+	env := <-eps[1].Inbox()
+	if string(env.Data) != "abc" {
+		t.Fatal("transport aliases sender buffer")
+	}
+}
+
+func TestTCPNetRoundtrip(t *testing.T) {
+	a, err := NewTCPNet(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNet(1, "127.0.0.1:0", map[int]string{0: a.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Send(0, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-a.Inbox():
+		if env.From != 1 || string(env.Data) != "over tcp" {
+			t.Fatalf("envelope %+v", env)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestTCPNetOrdering(t *testing.T) {
+	a, err := NewTCPNet(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNet(1, "127.0.0.1:0", map[int]string{0: a.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		if err := b.Send(0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		select {
+		case env := <-a.Inbox():
+			if env.Data[0] != byte(i) {
+				t.Fatalf("out of order: got %d want %d", env.Data[0], i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestTCPNetUnknownPeer(t *testing.T) {
+	a, err := NewTCPNet(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(7, []byte("x")); err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+}
+
+func TestPayloadCodecRoundtrip(t *testing.T) {
+	mcfg := mf.DefaultConfig()
+	m := mf.New(mcfg)
+	m.Train([]dataset.Rating{{User: 1, Item: 2, Value: 4}}, 100, rand.New(rand.NewSource(1)))
+
+	cases := []core.Payload{
+		{From: 3, Degree: 7},
+		{From: 1, Degree: 2, Data: []dataset.Rating{{User: 5, Item: 6, Value: 2.5}}},
+		{From: 9, Degree: 4, Model: m},
+	}
+	for i, p := range cases {
+		b, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := DecodePayload(b, func() model.Model { return mf.New(mcfg) })
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.From != p.From || got.Degree != p.Degree {
+			t.Fatalf("case %d header: %+v", i, got)
+		}
+		if (got.Model == nil) != (p.Model == nil) || len(got.Data) != len(p.Data) {
+			t.Fatalf("case %d body kind mismatch", i)
+		}
+		if p.Model != nil && got.Model.Predict(1, 2) != p.Model.Predict(1, 2) {
+			t.Fatalf("case %d model drifted", i)
+		}
+	}
+}
+
+func TestPayloadCodecErrors(t *testing.T) {
+	if _, err := DecodePayload([]byte{1, 2}, nil); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := make([]byte, 10)
+	bad[8] = 99
+	if _, err := DecodePayload(bad, func() model.Model { return nil }); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// clusterWorkload builds a small live cluster configuration.
+func clusterWorkload(t testing.TB, n int, mode core.Mode, algo gossip.Algo, epochs int) ClusterConfig {
+	t.Helper()
+	spec := movielens.Latest().Scaled(0.05)
+	spec.Seed = 21
+	ds := movielens.Generate(spec)
+	rng := rand.New(rand.NewSource(21))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	trainParts, err := tr.PartitionUsersAcross(n, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testParts, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := mf.DefaultConfig()
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewNode(core.Config{
+			ID: i, Mode: mode, Algo: algo,
+			StepsPerEpoch: 100, SharePoints: 30, Seed: 21,
+		}, mf.New(mcfg), trainParts[i], testParts[i])
+	}
+	return ClusterConfig{
+		Graph: topology.FullyConnected(n), Nodes: nodes, Epochs: epochs,
+		NewModel: func() model.Model { return mf.New(mcfg) },
+	}
+}
+
+func TestClusterSecureREX(t *testing.T) {
+	cfg := clusterWorkload(t, 6, core.DataSharing, gossip.DPSGD, 8)
+	cfg.Secure = true
+	stats, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stats {
+		if s.Attested != 5 {
+			t.Fatalf("node %d attested %d of 5 peers", i, s.Attested)
+		}
+		if s.FinalRMSE <= 0 || s.FinalRMSE > 3 {
+			t.Fatalf("node %d rmse %v", i, s.FinalRMSE)
+		}
+		if s.BytesOut == 0 || s.BytesIn == 0 {
+			t.Fatalf("node %d moved no data", i)
+		}
+		if len(s.RMSE) != 8 {
+			t.Fatalf("node %d recorded %d epochs", i, len(s.RMSE))
+		}
+	}
+}
+
+func TestClusterNativeModelSharing(t *testing.T) {
+	cfg := clusterWorkload(t, 4, core.ModelSharing, gossip.DPSGD, 6)
+	stats, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for _, s := range stats {
+		first += s.RMSE[0] / float64(len(stats))
+		last += s.FinalRMSE / float64(len(stats))
+	}
+	if last >= first {
+		t.Fatalf("model sharing did not improve: %.4f -> %.4f", first, last)
+	}
+	if stats[0].Attested != 0 {
+		t.Fatal("native mode attested peers")
+	}
+}
+
+func TestClusterRMW(t *testing.T) {
+	cfg := clusterWorkload(t, 5, core.DataSharing, gossip.RMW, 6)
+	cfg.Secure = true
+	stats, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMW moves far less data than D-PSGD would (one payload per epoch).
+	for i, s := range stats {
+		if s.BytesOut == 0 {
+			t.Fatalf("node %d silent", i)
+		}
+	}
+}
+
+func TestClusterREXLessTrafficThanMS(t *testing.T) {
+	rex, err := RunCluster(clusterWorkload(t, 4, core.DataSharing, gossip.DPSGD, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunCluster(clusterWorkload(t, 4, core.ModelSharing, gossip.DPSGD, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rexB, msB int64
+	for i := range rex {
+		rexB += rex[i].BytesOut
+		msB += ms[i].BytesOut
+	}
+	if rexB*5 > msB {
+		t.Fatalf("expected >=5x traffic gap: REX %d MS %d", rexB, msB)
+	}
+}
+
+func TestClusterSizeMismatch(t *testing.T) {
+	cfg := clusterWorkload(t, 4, core.DataSharing, gossip.DPSGD, 2)
+	cfg.Nodes = cfg.Nodes[:3]
+	if _, err := RunCluster(cfg); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	eps := NewChanNet(1)
+	nd := core.NewNode(core.Config{}, mf.New(mf.DefaultConfig()), nil, nil)
+	if _, err := Run(Config{Node: nd, Endpoint: eps[0], Secure: true}); err == nil {
+		t.Fatal("secure mode without platform accepted")
+	}
+}
+
+// TestLiveOverTCPCluster is the end-to-end integration: three real TCP
+// nodes, attestation, encrypted raw-data gossip.
+func TestLiveOverTCPCluster(t *testing.T) {
+	const n = 3
+	cw := clusterWorkload(t, n, core.DataSharing, gossip.DPSGD, 5)
+
+	// Listeners first so peers can dial in any order.
+	nets := make([]*TCPNet, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		tn, err := NewTCPNet(i, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = tn
+		addrs[i] = tn.Addr().String()
+		defer tn.Close()
+	}
+	for i := 0; i < n; i++ {
+		peers := map[int]string{}
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = addrs[j]
+			}
+		}
+		nets[i].peers = peers
+	}
+
+	meas := attest.MeasureCode([]byte("rex-enclave-v1"))
+	inf := attest.NewInfrastructure()
+	platforms := make([]*attest.Platform, n)
+	for i := range platforms {
+		p, err := inf.NewPlatform(rand.New(rand.NewSource(int64(i + 1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		platforms[i] = p
+	}
+
+	type result struct {
+		st  *Stats
+		err error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			neighbors := []int{}
+			for j := 0; j < n; j++ {
+				if j != i {
+					neighbors = append(neighbors, j)
+				}
+			}
+			st, err := Run(Config{
+				Node: cw.Nodes[i], Endpoint: nets[i], Neighbors: neighbors,
+				Epochs: 5, Secure: true,
+				Platform: platforms[i], Infra: inf, Measurement: meas,
+				NewModel: cw.NewModel,
+				Entropy:  rand.New(rand.NewSource(int64(i + 500))),
+			})
+			results <- result{st, err}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if r.st.Attested != n-1 {
+				t.Fatalf("attested %d", r.st.Attested)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("TCP cluster timed out")
+		}
+	}
+}
+
+// TestFailureDetectorDropsDeadPeer runs a 4-node cluster where one node
+// stops after 2 epochs; the survivors' timeout-based failure detection
+// (the paper's deferred §III-D mechanism) drops it and they finish.
+func TestFailureDetectorDropsDeadPeer(t *testing.T) {
+	const n = 4
+	const epochs = 6
+	cw := clusterWorkload(t, n, core.DataSharing, gossip.DPSGD, epochs)
+	eps := NewChanNet(n)
+
+	type result struct {
+		id  int
+		st  *Stats
+		err error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			neighbors := []int{}
+			for j := 0; j < n; j++ {
+				if j != i {
+					neighbors = append(neighbors, j)
+				}
+			}
+			ep := epochs
+			if i == 3 {
+				ep = 2 // node 3 "crashes" after epoch 2
+			}
+			st, err := Run(Config{
+				Node: cw.Nodes[i], Endpoint: eps[i], Neighbors: neighbors,
+				Epochs:       ep,
+				NewModel:     cw.NewModel,
+				RoundTimeout: 500 * time.Millisecond,
+			})
+			results <- result{i, st, err}
+		}(i)
+	}
+	for k := 0; k < n; k++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("node %d: %v", r.id, r.err)
+			}
+			if r.id != 3 {
+				if len(r.st.RMSE) != epochs {
+					t.Fatalf("survivor %d ran %d epochs", r.id, len(r.st.RMSE))
+				}
+				if r.st.PeersLost != 1 {
+					t.Fatalf("survivor %d lost %d peers, want 1", r.id, r.st.PeersLost)
+				}
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("cluster hung despite failure detector")
+		}
+	}
+	for i := range eps {
+		eps[i].Close()
+	}
+}

@@ -1,0 +1,227 @@
+package seccha
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// detRand is a deterministic entropy source for tests.
+func detRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func pair(t *testing.T) (*Channel, *Channel) {
+	t.Helper()
+	a, err := GenerateKeyPair(detRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKeyPair(detRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.SharedSecret(b.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.SharedSecret(a.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("ECDH secrets disagree")
+	}
+	ma := sha256.Sum256([]byte("m"))
+	key := ChannelKey(sa, ma[:], ma[:])
+	ca, err := NewChannel(key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewChannel(key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, cb
+}
+
+func TestChannelRoundtrip(t *testing.T) {
+	a, b := pair(t)
+	msg := []byte("raw ratings are safe in here")
+	ct := a.Seal(msg)
+	if bytes.Contains(ct, msg) {
+		t.Fatal("ciphertext leaks plaintext")
+	}
+	pt, err := b.Open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Fatalf("roundtrip mismatch: %q", pt)
+	}
+}
+
+func TestChannelBidirectional(t *testing.T) {
+	a, b := pair(t)
+	for i := 0; i < 10; i++ {
+		m1 := []byte{byte(i), 1}
+		m2 := []byte{byte(i), 2}
+		if pt, err := b.Open(a.Seal(m1)); err != nil || !bytes.Equal(pt, m1) {
+			t.Fatalf("a->b msg %d: %v", i, err)
+		}
+		if pt, err := a.Open(b.Seal(m2)); err != nil || !bytes.Equal(pt, m2) {
+			t.Fatalf("b->a msg %d: %v", i, err)
+		}
+	}
+}
+
+func TestChannelTamperDetected(t *testing.T) {
+	a, b := pair(t)
+	ct := a.Seal([]byte("payload"))
+	ct[len(ct)/2] ^= 0x01
+	if _, err := b.Open(ct); err != ErrAuth {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+}
+
+func TestChannelReplayAndReorderRejected(t *testing.T) {
+	a, b := pair(t)
+	ct1 := a.Seal([]byte("one"))
+	ct2 := a.Seal([]byte("two"))
+	if _, err := b.Open(ct2); err == nil {
+		t.Fatal("out-of-order message accepted")
+	}
+	if _, err := b.Open(ct1); err != nil {
+		t.Fatalf("in-order message rejected after failed open: %v", err)
+	}
+	if _, err := b.Open(ct1); err == nil {
+		t.Fatal("replay accepted")
+	}
+}
+
+func TestChannelDirectionsSeparate(t *testing.T) {
+	a, _ := pair(t)
+	ct := a.Seal([]byte("self"))
+	// The sender cannot open its own traffic: directions have distinct
+	// nonce spaces.
+	if _, err := a.Open(ct); err == nil {
+		t.Fatal("sender decrypted its own ciphertext")
+	}
+}
+
+func TestChannelRoundtripProperty(t *testing.T) {
+	a, b := pair(t)
+	f := func(msg []byte) bool {
+		pt, err := b.Open(a.Seal(msg))
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelBadKey(t *testing.T) {
+	if _, err := NewChannel(make([]byte, 16), true); err == nil {
+		t.Fatal("16-byte key accepted")
+	}
+}
+
+func TestHKDFDeterministicAndSized(t *testing.T) {
+	secret := []byte("secret")
+	for _, n := range []int{1, 16, 32, 33, 64, 100} {
+		a := HKDF(secret, []byte("salt"), []byte("info"), n)
+		b := HKDF(secret, []byte("salt"), []byte("info"), n)
+		if len(a) != n || !bytes.Equal(a, b) {
+			t.Fatalf("HKDF(%d) len=%d deterministic=%v", n, len(a), bytes.Equal(a, b))
+		}
+	}
+	x := HKDF(secret, nil, []byte("a"), 32)
+	y := HKDF(secret, nil, []byte("b"), 32)
+	if bytes.Equal(x, y) {
+		t.Fatal("different info, same key")
+	}
+}
+
+func TestChannelKeySymmetric(t *testing.T) {
+	ma := sha256.Sum256([]byte("A"))
+	mb := sha256.Sum256([]byte("B"))
+	s := []byte("shared")
+	k1 := ChannelKey(s, ma[:], mb[:])
+	k2 := ChannelKey(s, mb[:], ma[:])
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("channel key depends on argument order")
+	}
+	if len(k1) != 32 {
+		t.Fatalf("key length %d", len(k1))
+	}
+}
+
+func TestSharedSecretBadKey(t *testing.T) {
+	a, err := GenerateKeyPair(detRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SharedSecret([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed public key accepted")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	a, _ := pair(t)
+	if a.Overhead() != 16 {
+		t.Fatalf("GCM overhead %d", a.Overhead())
+	}
+	ct := a.Seal([]byte("xx"))
+	if len(ct) != 2+16 {
+		t.Fatalf("ciphertext length %d", len(ct))
+	}
+}
+
+func TestRekeyRatchet(t *testing.T) {
+	a, err := GenerateKeyPair(detRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKeyPair(detRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.SharedSecret(b.PublicKey())
+	m := sha256.Sum256([]byte("m"))
+	key := ChannelKey(sa, m[:], m[:])
+	ca, _ := NewChannel(append([]byte(nil), key...), true)
+	cb, _ := NewChannel(append([]byte(nil), key...), false)
+
+	ct := ca.Seal([]byte("before"))
+	if _, err := cb.Open(ct); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both peers ratchet with their copies of the current key.
+	ka := append([]byte(nil), key...)
+	kb := append([]byte(nil), key...)
+	if err := ca.Rekey(ka); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Rekey(kb); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ka {
+		if ka[i] != 0 {
+			t.Fatal("retired key not zeroed")
+		}
+	}
+
+	ct2 := ca.Seal([]byte("after"))
+	pt, err := cb.Open(ct2)
+	if err != nil || string(pt) != "after" {
+		t.Fatalf("post-rekey roundtrip: %v", err)
+	}
+
+	// A channel still on the old key cannot read post-rekey traffic.
+	stale, _ := NewChannel(key, false)
+	ct3 := ca.Seal([]byte("secret"))
+	if _, err := stale.Open(ct3); err == nil {
+		t.Fatal("old key decrypted post-rekey traffic")
+	}
+}

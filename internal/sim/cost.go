@@ -1,0 +1,76 @@
+// Package sim executes REX networks under deterministic virtual time: real
+// training on real (synthetic) data, with per-node clocks advanced by an
+// explicit cost model instead of wall time. This reproduces the paper's
+// simulated experiments (Figs 1-5, Tables II-III) and, with the enclave
+// cost model enabled, its SGX experiments (Figs 6-7, Table IV) — shapes
+// and ratios are meaningful, absolute seconds are model outputs.
+package sim
+
+// NetParams describe the virtual network links between nodes.
+type NetParams struct {
+	// LatencySec is the one-way propagation delay per message.
+	LatencySec float64
+	// BandwidthBps is per-link throughput in bytes per second.
+	BandwidthBps float64
+}
+
+// DefaultNet returns the profile of decentralized user machines on the
+// open internet: 2 ms latency, 10 Mbit/s per-link throughput. REX targets
+// exactly this setting — end-user devices gossiping without a datacenter
+// backbone — and it is where model sharing's payload sizes hurt most.
+func DefaultNet() NetParams {
+	return NetParams{LatencySec: 0.002, BandwidthBps: 10e6 / 8}
+}
+
+// ComputeParams translate algorithmic work into virtual seconds.
+type ComputeParams struct {
+	// SecPerFlop converts floating-point operations to seconds.
+	SecPerFlop float64
+	// TrainStepFlops is the cost of one SGD step (one rating for MF, one
+	// minibatch for the DNN).
+	TrainStepFlops float64
+	// MergeFlopsPerParam is charged per parameter per alien model merged
+	// (weighted averaging, Algorithm 2 line 15).
+	MergeFlopsPerParam float64
+	// AppendFlopsPerPoint is charged per raw data point appended to the
+	// store (hash + dedup + insert, Algorithm 2 line 16). The paper notes
+	// this is far cheaper than model merging (§IV-C).
+	AppendFlopsPerPoint float64
+	// TestFlopsPerExample is one prediction's cost during the test step.
+	TestFlopsPerExample float64
+	// SerializeSecPerByte is the marshalling cost per outgoing byte.
+	SerializeSecPerByte float64
+}
+
+// MFCompute returns the cost profile of the rank-k MF model (§II-A-b):
+// one SGD step touches two embedding rows (~8k flops incl. updates), one
+// prediction is a dot product.
+func MFCompute(k int) ComputeParams {
+	return ComputeParams{
+		SecPerFlop: 1e-9,
+		// A sparse SGD step is ~8k arithmetic ops plus a large constant
+		// of scattered map/sparse-matrix accesses; the constant is
+		// calibrated so stage breakdowns have the paper's proportions
+		// (train comparable to D-PSGD merge at 8 nodes, Fig 6a).
+		TrainStepFlops:      float64(8*k+16) + 30_000,
+		MergeFlopsPerParam:  150, // weighted sparse-map merge, ~150ns/param
+		AppendFlopsPerPoint: 400, // hash + dedup + insert per raw point
+		TestFlopsPerExample: float64(2*k+6) + 1_000,
+		SerializeSecPerByte: 10e-9, // ~100 MB/s marshalling
+	}
+}
+
+// DNNCompute returns the cost profile of the DNN recommender: a training
+// step is one minibatch (forward+backward ~6 flops per MLP weight per
+// example plus embedding traffic), predictions are single forward passes.
+func DNNCompute(mlpParams, embDim, batch int) ComputeParams {
+	fwd := float64(2*mlpParams + 4*embDim)
+	return ComputeParams{
+		SecPerFlop:          1e-9,
+		TrainStepFlops:      3 * fwd * float64(batch),
+		MergeFlopsPerParam:  150,
+		AppendFlopsPerPoint: 400,
+		TestFlopsPerExample: fwd,
+		SerializeSecPerByte: 10e-9,
+	}
+}

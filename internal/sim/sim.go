@@ -1,0 +1,480 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/enclave"
+	"rex/internal/gossip"
+	"rex/internal/model"
+	"rex/internal/topology"
+)
+
+// Config describes one simulated run.
+type Config struct {
+	Graph *topology.Graph
+	// Topology, when set, supplies the communication graph for each epoch
+	// (same node count as Graph), enabling dynamic overlays such as a
+	// peer-sampling service re-sampled between rounds. The Algorithm 2
+	// barrier still holds: a node trains once every message addressed to
+	// it in the previous epoch has arrived.
+	Topology func(epoch int) *topology.Graph
+	Algo     gossip.Algo
+	Mode     core.Mode
+
+	Epochs        int
+	StepsPerEpoch int // fixed SGD steps per epoch (§III-E); <=0 = full pass
+	SharePoints   int // raw points sampled per epoch in REX mode
+
+	// UniformMerge is the §III-C2 ablation: naive uniform averaging in
+	// place of Metropolis-Hastings weights for D-PSGD.
+	UniformMerge bool
+	// ShareParallel overlaps the share step with training, the §III-D
+	// "future work" optimization: legal only for raw data sharing (the
+	// sample does not depend on this epoch's training result), so it is
+	// ignored in model-sharing mode.
+	ShareParallel bool
+	// FailAt injects permanent crash failures: node id -> epoch at which
+	// it stops participating. The paper leaves failure handling to future
+	// work (§III-D); the simulator models the oracle-detected case where
+	// surviving neighbors simply stop waiting for the dead node.
+	FailAt map[int]int
+	// Byzantine marks nodes that poison their shared payloads (§IV-E-c:
+	// attestation cannot stop poisoned *input data*).
+	Byzantine map[int]bool
+
+	// NewModel constructs node i's initial model. All nodes must start
+	// from identical parameters (attestation guarantees identical code),
+	// so implementations should seed deterministically and identically.
+	NewModel func(id int) model.Model
+	// Train/Test hold each node's initial local partition and private
+	// test set; both must have Graph.N() entries.
+	Train [][]dataset.Rating
+	Test  [][]dataset.Rating
+
+	Net     NetParams
+	Compute ComputeParams
+
+	// SGX enables the enclave cost model; otherwise nodes run "native".
+	SGX     bool
+	Enclave enclave.Params
+	// AttestSetupSec is charged once per neighbor pair at bootstrap when
+	// SGX is on (mutual attestation handshake, §III-A).
+	AttestSetupSec float64
+
+	// Heap scales the components of the simulated trusted heap to account
+	// for container/allocator overhead of the modeled implementation (the
+	// paper's C++/Eigen/JSON stack keeps far more bytes per entry than
+	// this package's packed wire formats). Zero values default to 1.
+	Heap HeapFactors
+
+	// KeepState retains every node's final model and raw-data store in
+	// the Result, letting callers serve recommendations (rank.TopN) or
+	// run store-based learners (knn) after the simulation.
+	KeepState bool
+
+	// TestEvery computes the RMSE every k epochs (1 = every epoch);
+	// skipped epochs report NaN in the series but still charge test time
+	// only when evaluated.
+	TestEvery int
+
+	Seed int64
+}
+
+// StageTimes are per-epoch mean durations of the four protocol stages
+// (virtual seconds) — the quantity behind Figs 5(a), 6(a), 7(a).
+type StageTimes struct {
+	Merge, Train, Share, Test float64
+}
+
+// Total returns the sum of all stages.
+func (s StageTimes) Total() float64 { return s.Merge + s.Train + s.Share + s.Test }
+
+func (s StageTimes) add(o StageTimes) StageTimes {
+	return StageTimes{s.Merge + o.Merge, s.Train + o.Train, s.Share + o.Share, s.Test + o.Test}
+}
+
+func (s StageTimes) scale(f float64) StageTimes {
+	return StageTimes{s.Merge * f, s.Train * f, s.Share * f, s.Test * f}
+}
+
+// EpochStats is one row of the result series.
+type EpochStats struct {
+	Epoch int
+	// MeanRMSE is the nodes' mean test error after this epoch (NaN when
+	// evaluation was skipped by TestEvery).
+	MeanRMSE float64
+	// TimeMean/TimeMax are node virtual clocks at the end of the epoch.
+	TimeMean, TimeMax float64
+	// BytesPerNode is the mean cumulative network volume (in+out) per
+	// node up to and including this epoch — Fig 2 row 1.
+	BytesPerNode float64
+	// EpochBytesPerNode is the mean volume exchanged during this epoch
+	// alone — Fig 3 column 3 and Fig 5(b).
+	EpochBytesPerNode float64
+	// Stage holds this epoch's mean stage durations.
+	Stage StageTimes
+}
+
+// Result aggregates a run.
+type Result struct {
+	Series []EpochStats
+	// FinalRMSE is the last evaluated mean RMSE.
+	FinalRMSE float64
+	// TotalTimeMean/Max are the final virtual clocks.
+	TotalTimeMean, TotalTimeMax float64
+	// BytesPerNode is the mean total in+out volume per node.
+	BytesPerNode float64
+	// Stage is the mean per-epoch stage breakdown over the whole run.
+	Stage StageTimes
+	// PeakHeapBytes is the maximum simulated trusted-heap across nodes
+	// (model + store + in-flight buffers) — the RAM column of Table IV.
+	PeakHeapBytes int64
+	// MeanHeapBytes averages nodes' peak heaps.
+	MeanHeapBytes float64
+	// Attestations counts mutual attestation handshakes performed.
+	Attestations int
+	// FailedNodes counts nodes that crashed during the run.
+	FailedNodes int
+	// Models/Stores hold each node's final model and raw-data store when
+	// Config.KeepState is set (nil otherwise).
+	Models []model.Model
+	Stores [][]dataset.Rating
+}
+
+// TimeToRMSE returns the first virtual time (mean clock) at which the mean
+// RMSE dropped to target or below, and true if reached — the measurement
+// behind Tables II and III.
+func (r *Result) TimeToRMSE(target float64) (float64, bool) {
+	for _, e := range r.Series {
+		if !math.IsNaN(e.MeanRMSE) && e.MeanRMSE <= target {
+			return e.TimeMean, true
+		}
+	}
+	return 0, false
+}
+
+// HeapFactors scale heap components: Model applies to model parameters,
+// Store to raw ratings (train store + test set), Buffer to per-epoch
+// message buffers (received copies and outbound serializations).
+type HeapFactors struct {
+	Model, Store, Buffer float64
+}
+
+func (h HeapFactors) orDefault() HeapFactors {
+	if h.Model == 0 {
+		h.Model = 1
+	}
+	if h.Store == 0 {
+		h.Store = 1
+	}
+	if h.Buffer == 0 {
+		h.Buffer = 1
+	}
+	return h
+}
+
+// PaperHeapFactors approximate the paper implementation's memory overhead
+// (Eigen sparse containers, STL maps, JSON serialization buffers) relative
+// to this package's packed formats; calibrated against the RAM column of
+// Table IV (see EXPERIMENTS.md).
+func PaperHeapFactors() HeapFactors { return HeapFactors{Model: 8, Store: 2, Buffer: 16} }
+
+// message is an in-flight gossip payload.
+type message struct {
+	payload core.Payload
+	arrival float64 // virtual receive time
+	bytes   int
+}
+
+// Run executes the configured network and returns its metrics. The run is
+// deterministic in Config.Seed.
+func Run(cfg Config) (*Result, error) {
+	n := cfg.Graph.N()
+	if len(cfg.Train) != n || len(cfg.Test) != n {
+		return nil, fmt.Errorf("sim: partitions (%d train, %d test) do not match %d nodes",
+			len(cfg.Train), len(cfg.Test), n)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("sim: epochs must be positive")
+	}
+	if cfg.TestEvery <= 0 {
+		cfg.TestEvery = 1
+	}
+	if cfg.Net.BandwidthBps == 0 {
+		cfg.Net = DefaultNet()
+	}
+	if cfg.SGX && cfg.Enclave.EPCBytes == 0 {
+		cfg.Enclave = enclave.DefaultParams()
+	}
+
+	heapF := cfg.Heap.orDefault()
+	meas := attest.MeasureCode([]byte("rex-enclave-v1"))
+	nodes := make([]*core.Node, n)
+	encl := make([]*enclave.Enclave, n)
+	clocks := make([]float64, n)
+	inbox := make([][]message, n)
+	cumBytes := make([]float64, n) // in+out per node
+	res := &Result{}
+
+	for i := 0; i < n; i++ {
+		nodes[i] = core.NewNode(core.Config{
+			ID:            i,
+			Mode:          cfg.Mode,
+			Algo:          cfg.Algo,
+			StepsPerEpoch: cfg.StepsPerEpoch,
+			SharePoints:   cfg.SharePoints,
+			Seed:          cfg.Seed,
+			UniformMerge:  cfg.UniformMerge,
+			Byzantine:     cfg.Byzantine[i],
+		}, cfg.NewModel(i), cfg.Train[i], cfg.Test[i])
+		encl[i] = enclave.New(meas, cfg.Enclave, cfg.SGX)
+		encl[i].SetHeap(nodeHeap(nodes[i], heapF, 0))
+		if cfg.SGX {
+			// Mutual attestation with every neighbor before any data
+			// flows (§III-A); pairs overlap, so charge per neighbor.
+			d := cfg.Graph.Degree(i)
+			clocks[i] = cfg.AttestSetupSec * float64(d)
+			res.Attestations += d
+		}
+	}
+	res.Attestations /= 2 // counted from both endpoints
+
+	cp := cfg.Compute
+	secPerFlop := cp.SecPerFlop
+	if secPerFlop == 0 {
+		secPerFlop = 1e-9
+	}
+
+	series := make([]EpochStats, 0, cfg.Epochs)
+	var stageSum StageTimes
+	peakHeapPerNode := make([]int64, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	for e := 0; e < cfg.Epochs; e++ {
+		graph := cfg.Graph
+		if cfg.Topology != nil {
+			if g := cfg.Topology(e); g != nil && g.N() == n {
+				graph = g
+			}
+		}
+		// Crash the nodes scheduled to fail this epoch (oracle failure
+		// detection: neighbors immediately stop expecting their traffic).
+		for id, at := range cfg.FailAt {
+			if at == e && id >= 0 && id < n && alive[id] {
+				alive[id] = false
+				res.FailedNodes++
+			}
+		}
+		var epochStage StageTimes
+		var epochBytes float64
+		outgoing := make([][]message, n) // staged deliveries, applied after the epoch
+
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				inbox[i] = nil // a dead node consumes nothing
+				continue
+			}
+			node := nodes[i]
+			enc := encl[i]
+			deg := graph.Degree(i)
+
+			// --- gather inputs and the epoch start time ---
+			// Algorithm 2 line 13: a node is ready to train when it has
+			// received a message (possibly empty) from all its neighbors.
+			// The barrier applies to RMW too — only the payload placement
+			// differs (one random neighbor gets content, the rest get
+			// empty notifications).
+			var inputs []message
+			start := clocks[i]
+			if e > 0 {
+				inputs = inbox[i]
+				inbox[i] = nil
+				for _, m := range inputs {
+					if m.arrival > start {
+						start = m.arrival
+					}
+				}
+			}
+
+			// --- merge (Alg. 2 lines 15-16) ---
+			payloads := make([]core.Payload, len(inputs))
+			inBytes := 0
+			for k, m := range inputs {
+				payloads[k] = m.payload
+				inBytes += m.bytes
+			}
+			st := node.Merge(payloads, deg)
+			var mergeFlops float64
+			if cfg.Mode == core.ModelSharing {
+				for _, p := range payloads {
+					if p.Model != nil {
+						mergeFlops += float64(p.Model.ParamCount()) * cp.MergeFlopsPerParam
+					}
+				}
+			} else {
+				mergeFlops = float64(st.PointsAppended+st.PointsDuplicate) * cp.AppendFlopsPerPoint
+			}
+			mergeT := mergeFlops * secPerFlop * enc.MemFactor()
+			// Receiving under SGX: one ecall plus traffic decryption per message.
+			for _, m := range inputs {
+				mergeT += enc.ECall(m.bytes).Seconds() + enc.CryptoTime(m.bytes).Seconds()
+			}
+
+			// --- train (Alg. 2 line 17) ---
+			trainT := float64(node.Train()) * cp.TrainStepFlops * secPerFlop * enc.ComputeFactor()
+
+			// --- share (Alg. 2 lines 18-20) ---
+			// The payload goes to the scheme's targets (one random
+			// neighbor under RMW, everyone under D-PSGD); all remaining
+			// neighbors receive an empty notification that keeps the
+			// barrier advancing.
+			neighbors := graph.Neighbors(i)
+			payloadTo := gossip.Targets(cfg.Algo, graph, i, node.RNG())
+			isPayload := make(map[int]bool, len(payloadTo))
+			for _, t := range payloadTo {
+				isPayload[t] = true
+			}
+			var shareT float64
+			var outBytes int
+			if len(neighbors) > 0 {
+				payload := node.Share(deg, cfg.Mode == core.ModelSharing)
+				empty := core.Payload{From: i, Degree: deg}
+				wire := core.PayloadWireSize(payload)
+				emptyWire := core.PayloadWireSize(empty)
+				for _, t := range neighbors {
+					w := emptyWire
+					if isPayload[t] {
+						w = wire
+					}
+					shareT += float64(w) * cp.SerializeSecPerByte * enc.MemFactor()
+					shareT += enc.CryptoTime(w).Seconds()
+					shareT += enc.OCall(w).Seconds()
+					shareT += enc.NativeAllocTime(w).Seconds()
+					outBytes += w
+				}
+				sendDone := start + mergeT + trainT + shareT
+				if cfg.ShareParallel && cfg.Mode == core.DataSharing {
+					// Sampling the pre-train store and shipping it can
+					// overlap training (§III-D): dispatch right after the
+					// merge; the share cost itself rides the wire path.
+					sendDone = start + mergeT + shareT
+				}
+				for _, t := range neighbors {
+					if !alive[t] {
+						continue // oracle: no traffic to crashed peers
+					}
+					pl, w := empty, emptyWire
+					if isPayload[t] {
+						pl, w = payload, wire
+					}
+					outgoing[t] = append(outgoing[t], message{
+						payload: pl,
+						arrival: sendDone + cfg.Net.LatencySec + float64(w)/cfg.Net.BandwidthBps,
+						bytes:   w,
+					})
+				}
+			}
+
+			// --- test (Alg. 2 line 21) ---
+			var testT float64
+			if (e+1)%cfg.TestEvery == 0 || e == cfg.Epochs-1 {
+				testT = float64(len(node.Test)) * cp.TestFlopsPerExample * secPerFlop * enc.ComputeFactor()
+			}
+
+			elapsed := mergeT + trainT + shareT + testT
+			if cfg.ShareParallel && cfg.Mode == core.DataSharing && shareT < trainT {
+				elapsed = mergeT + trainT + testT // share hidden under training
+			}
+			clocks[i] = start + elapsed
+			cumBytes[i] += float64(inBytes + outBytes)
+			epochBytes += float64(inBytes + outBytes)
+			epochStage = epochStage.add(StageTimes{mergeT, trainT, shareT, testT})
+
+			// Heap: persistent state plus this epoch's transient buffers
+			// (received copies during merge + outbound serialization).
+			heap := nodeHeap(node, heapF, inBytes+outBytes)
+			enc.SetHeap(heap)
+			if heap > peakHeapPerNode[i] {
+				peakHeapPerNode[i] = heap
+			}
+		}
+
+		// Deliver this epoch's messages.
+		for t := range outgoing {
+			inbox[t] = append(inbox[t], outgoing[t]...)
+		}
+
+		// --- record epoch stats ---
+		stat := EpochStats{Epoch: e, MeanRMSE: math.NaN()}
+		if (e+1)%cfg.TestEvery == 0 || e == cfg.Epochs-1 {
+			var sum float64
+			cnt := 0
+			for ni, nd := range nodes {
+				if len(nd.Test) == 0 || !alive[ni] {
+					continue
+				}
+				sum += nd.TestRMSE()
+				cnt++
+			}
+			if cnt > 0 {
+				stat.MeanRMSE = sum / float64(cnt)
+				res.FinalRMSE = stat.MeanRMSE
+			}
+		}
+		var tm, tmax, bsum float64
+		for i := 0; i < n; i++ {
+			tm += clocks[i]
+			if clocks[i] > tmax {
+				tmax = clocks[i]
+			}
+			bsum += cumBytes[i]
+		}
+		stat.TimeMean = tm / float64(n)
+		stat.TimeMax = tmax
+		stat.BytesPerNode = bsum / float64(n)
+		stat.EpochBytesPerNode = epochBytes / float64(n)
+		stat.Stage = epochStage.scale(1 / float64(n))
+		stageSum = stageSum.add(stat.Stage)
+		series = append(series, stat)
+	}
+
+	res.Series = series
+	last := series[len(series)-1]
+	res.TotalTimeMean = last.TimeMean
+	res.TotalTimeMax = last.TimeMax
+	res.BytesPerNode = last.BytesPerNode
+	res.Stage = stageSum.scale(1 / float64(cfg.Epochs))
+	var heapSum float64
+	for i := 0; i < n; i++ {
+		if peakHeapPerNode[i] > res.PeakHeapBytes {
+			res.PeakHeapBytes = peakHeapPerNode[i]
+		}
+		heapSum += float64(peakHeapPerNode[i])
+	}
+	res.MeanHeapBytes = heapSum / float64(n)
+	if cfg.KeepState {
+		res.Models = make([]model.Model, n)
+		res.Stores = make([][]dataset.Rating, n)
+		for i, nd := range nodes {
+			res.Models[i] = nd.Model
+			res.Stores[i] = nd.Store.Snapshot()
+		}
+	}
+	return res, nil
+}
+
+// nodeHeap computes the simulated trusted-heap footprint of a node given
+// the heap factors and this epoch's transient buffer bytes.
+func nodeHeap(n *core.Node, f HeapFactors, bufferBytes int) int64 {
+	modelB := float64(n.Model.WireSize()) * f.Model
+	storeB := float64(n.Store.Bytes()+len(n.Test)*dataset.EncodedSize) * f.Store
+	bufB := float64(bufferBytes) * f.Buffer
+	return int64(modelB + storeB + bufB)
+}

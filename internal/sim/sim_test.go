@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/movielens"
+	"rex/internal/topology"
+)
+
+// buildSmall returns a scaled MovieLens-like workload split across n nodes.
+func buildSmall(t testing.TB, n int, seed int64) (train, test [][]dataset.Rating) {
+	t.Helper()
+	spec := movielens.Latest().Scaled(0.12)
+	spec.Seed = seed
+	ds := movielens.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	trainParts, err := tr.PartitionUsersAcross(n, rng)
+	if err != nil {
+		t.Fatalf("partition train: %v", err)
+	}
+	testParts, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("partition test: %v", err)
+	}
+	return trainParts, testParts
+}
+
+func smallConfig(t testing.TB, mode core.Mode, algo gossip.Algo) Config {
+	t.Helper()
+	n := 24
+	train, test := buildSmall(t, n, 42)
+	rng := rand.New(rand.NewSource(1))
+	g := topology.SmallWorld(n, 6, 0.03, rng)
+	mcfg := mf.DefaultConfig()
+	return Config{
+		Graph: g, Algo: algo, Mode: mode,
+		Epochs: 40, StepsPerEpoch: 200, SharePoints: 100,
+		NewModel: func(id int) model.Model { return mf.New(mcfg) },
+		Train:    train, Test: test,
+		Compute: MFCompute(mcfg.K),
+		Seed:    99,
+	}
+}
+
+func TestRunConvergesREX(t *testing.T) {
+	cfg := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Series[0].MeanRMSE
+	if math.IsNaN(first) || first <= 0 {
+		t.Fatalf("bad initial RMSE %v", first)
+	}
+	if res.FinalRMSE >= first {
+		t.Fatalf("REX did not improve: first %.3f final %.3f", first, res.FinalRMSE)
+	}
+	if res.FinalRMSE > 1.35 {
+		t.Errorf("REX final RMSE too high: %.3f", res.FinalRMSE)
+	}
+}
+
+func TestRunConvergesMS(t *testing.T) {
+	cfg := smallConfig(t, core.ModelSharing, gossip.DPSGD)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Series[0].MeanRMSE
+	if res.FinalRMSE >= first {
+		t.Fatalf("MS did not improve: first %.3f final %.3f", first, res.FinalRMSE)
+	}
+}
+
+func TestREXBeatsMSOnTimeAndBytes(t *testing.T) {
+	rex, err := Run(smallConfig(t, core.DataSharing, gossip.DPSGD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := Run(smallConfig(t, core.ModelSharing, gossip.DPSGD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rex.BytesPerNode*5 > ms.BytesPerNode {
+		t.Errorf("expected >=5x byte savings: REX %.0f MS %.0f", rex.BytesPerNode, ms.BytesPerNode)
+	}
+	if rex.TotalTimeMean >= ms.TotalTimeMean {
+		t.Errorf("expected REX faster: REX %.3fs MS %.3fs", rex.TotalTimeMean, ms.TotalTimeMean)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(smallConfig(t, core.DataSharing, gossip.RMW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(t, core.DataSharing, gossip.RMW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalRMSE != b.FinalRMSE || a.TotalTimeMean != b.TotalTimeMean || a.BytesPerNode != b.BytesPerNode {
+		t.Errorf("runs with equal seeds diverged: %+v vs %+v", a.FinalRMSE, b.FinalRMSE)
+	}
+}
+
+func TestSGXSlowerThanNative(t *testing.T) {
+	for _, mode := range []core.Mode{core.DataSharing, core.ModelSharing} {
+		cfg := smallConfig(t, mode, gossip.DPSGD)
+		cfg.Epochs = 15
+		native, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg2 := smallConfig(t, mode, gossip.DPSGD)
+		cfg2.Epochs = 15
+		cfg2.SGX = true
+		sgx, err := Run(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nT := native.Stage.Total()
+		sT := sgx.Stage.Total()
+		if sT <= nT {
+			t.Errorf("%v: SGX epoch (%.4fs) should exceed native (%.4fs)", mode, sT, nT)
+		}
+		overhead := (sT - nT) / nT
+		if mode == core.DataSharing && overhead > 0.6 {
+			t.Errorf("REX SGX overhead too large: %.0f%%", overhead*100)
+		}
+		if sgx.Attestations == 0 {
+			t.Error("no attestations recorded in SGX mode")
+		}
+	}
+}
+
+func TestRMWCheaperThanDPSGD(t *testing.T) {
+	rmw, err := Run(smallConfig(t, core.ModelSharing, gossip.RMW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpsgd, err := Run(smallConfig(t, core.ModelSharing, gossip.DPSGD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmw.BytesPerNode >= dpsgd.BytesPerNode {
+		t.Errorf("RMW unicast should move fewer bytes: %.0f vs %.0f", rmw.BytesPerNode, dpsgd.BytesPerNode)
+	}
+}

@@ -1,0 +1,346 @@
+// Package topology builds and analyzes the communication graphs used by
+// REX: small-world graphs (paper §IV-A2a: 6 close connections, 3%
+// far-fetched probability) and connected Erdős–Rényi random graphs
+// (§IV-A2b: p = 5%), plus the graph analytics the paper cites (diameter,
+// clustering coefficient) and Metropolis–Hastings weights for D-PSGD model
+// averaging (§III-C2).
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph over nodes 0..N-1 with sorted
+// adjacency lists and no self-loops or parallel edges.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("topology: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Degree returns the number of neighbors of node i. D-PSGD senders attach
+// this value to every message for Metropolis–Hastings weighting (§III-C2).
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Neighbors returns the sorted neighbor list of node i. Callers must not
+// modify the returned slice.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// HasEdge reports whether the undirected edge (i, j) exists.
+func (g *Graph) HasEdge(i, j int) bool {
+	lst := g.adj[i]
+	k := sort.SearchInts(lst, j)
+	return k < len(lst) && lst[k] == j
+}
+
+// AddEdge inserts the undirected edge (i, j); self-loops and duplicates are
+// ignored. It reports whether a new edge was added.
+func (g *Graph) AddEdge(i, j int) bool {
+	if i == j || i < 0 || j < 0 || i >= g.n || j >= g.n {
+		return false
+	}
+	if g.HasEdge(i, j) {
+		return false
+	}
+	g.insert(i, j)
+	g.insert(j, i)
+	return true
+}
+
+func (g *Graph) insert(i, j int) {
+	lst := g.adj[i]
+	k := sort.SearchInts(lst, j)
+	lst = append(lst, 0)
+	copy(lst[k+1:], lst[k:])
+	lst[k] = j
+	g.adj[i] = lst
+}
+
+// RemoveEdge deletes the undirected edge (i, j) if present.
+func (g *Graph) RemoveEdge(i, j int) bool {
+	if !g.HasEdge(i, j) {
+		return false
+	}
+	g.remove(i, j)
+	g.remove(j, i)
+	return true
+}
+
+func (g *Graph) remove(i, j int) {
+	lst := g.adj[i]
+	k := sort.SearchInts(lst, j)
+	g.adj[i] = append(lst[:k], lst[k+1:]...)
+}
+
+// Edges returns all undirected edges as (i, j) pairs with i < j, sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for i := 0; i < g.n; i++ {
+		for _, j := range g.adj[i] {
+			if i < j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int {
+	sum := 0
+	for i := 0; i < g.n; i++ {
+		sum += len(g.adj[i])
+	}
+	return sum / 2
+}
+
+// AvgDegree returns the mean node degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(g.n)
+}
+
+// RandomNeighbor picks a uniform random neighbor of node i, used by RMW to
+// select its unicast destination each epoch (§III-C1). It returns -1 for
+// isolated nodes.
+func (g *Graph) RandomNeighbor(i int, rng *rand.Rand) int {
+	if len(g.adj[i]) == 0 {
+		return -1
+	}
+	return g.adj[i][rng.Intn(len(g.adj[i]))]
+}
+
+// Clone returns an independent deep copy.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for i := range g.adj {
+		c.adj[i] = append([]int(nil), g.adj[i]...)
+	}
+	return c
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d avgdeg=%.1f}", g.n, g.NumEdges(), g.AvgDegree())
+}
+
+// SmallWorld builds a Watts–Strogatz-style small-world graph as the boost
+// generator the paper used (§IV-A2a): a ring lattice where each node links
+// to its k nearest neighbors (k/2 on each side), plus "far-fetched"
+// shortcut edges added independently with probability pFar per node. The
+// paper's parameters are k=6 close connections and pFar=3%.
+func SmallWorld(n, k int, pFar float64, rng *rand.Rand) *Graph {
+	if k >= n {
+		k = n - 1
+	}
+	g := NewGraph(n)
+	half := k / 2
+	if half < 1 && n > 1 {
+		half = 1
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= half; d++ {
+			g.AddEdge(i, (i+d)%n)
+		}
+	}
+	// Far-fetched connections: each node gains a shortcut to a uniformly
+	// random distant node with probability pFar.
+	for i := 0; i < n; i++ {
+		if rng.Float64() < pFar {
+			for tries := 0; tries < 16; tries++ {
+				j := rng.Intn(n)
+				if j != i && !g.HasEdge(i, j) {
+					g.AddEdge(i, j)
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ErdosRenyi builds a G(n, p) random graph and then repairs connectivity by
+// linking components, exactly as the paper does ("we ensure to make it
+// connected by adding the missing edges", §IV-A2b). p = 5% in the paper.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	EnsureConnected(g, rng)
+	return g
+}
+
+// FullyConnected builds the complete graph on n nodes: the paper's 8-node
+// SGX deployment is fully connected with 28 pairwise links (§IV-C).
+func FullyConnected(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// EnsureConnected adds edges between connected components (a random node
+// of each subsequent component to a random node of the first) until the
+// graph is a single component.
+func EnsureConnected(g *Graph, rng *rand.Rand) {
+	comps := Components(g)
+	if len(comps) <= 1 {
+		return
+	}
+	base := comps[0]
+	for _, c := range comps[1:] {
+		a := base[rng.Intn(len(base))]
+		b := c[rng.Intn(len(c))]
+		g.AddEdge(a, b)
+		base = append(base, c...)
+	}
+}
+
+// Components returns the connected components, each as a sorted node list,
+// ordered by smallest member.
+func Components(g *Graph) [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has exactly one component (or is
+// empty).
+func IsConnected(g *Graph) bool {
+	if g.n == 0 {
+		return true
+	}
+	return len(Components(g)) == 1
+}
+
+// Diameter returns the longest shortest-path length between any pair of
+// nodes, or -1 if the graph is disconnected. Small-world graphs have low
+// diameter; sparse ER graphs may have larger ones (§IV-A2).
+func Diameter(g *Graph) int {
+	if g.n == 0 {
+		return 0
+	}
+	max := 0
+	dist := make([]int, g.n)
+	for s := 0; s < g.n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		reached := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					if dist[w] > max {
+						max = dist[w]
+					}
+					reached++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if reached < g.n {
+			return -1
+		}
+	}
+	return max
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient:
+// for each node, the fraction of neighbor pairs that are themselves
+// connected. Small-world graphs exhibit high clustering (§IV-A2a).
+func ClusteringCoefficient(g *Graph) float64 {
+	if g.n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < g.n; i++ {
+		nb := g.adj[i]
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				if g.HasEdge(nb[a], nb[b]) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(d*(d-1))
+	}
+	return sum / float64(g.n)
+}
+
+// MetropolisHastings returns, for node i, the averaging weights used by
+// D-PSGD model merging (§III-C2, citing Xiao/Boyd/Kim): for each neighbor
+// j, w_ij = 1/(1+max(deg_i, deg_j)); the self weight is 1 - sum of the
+// others. Weights are returned parallel to Neighbors(i), followed by the
+// self-weight. The induced weight matrix is symmetric and doubly
+// stochastic, the property that makes D-PSGD converge to the global
+// average.
+func MetropolisHastings(g *Graph, i int) (neighborW []float64, selfW float64) {
+	nb := g.adj[i]
+	neighborW = make([]float64, len(nb))
+	di := len(nb)
+	sum := 0.0
+	for k, j := range nb {
+		dj := len(g.adj[j])
+		m := di
+		if dj > m {
+			m = dj
+		}
+		w := 1.0 / float64(1+m)
+		neighborW[k] = w
+		sum += w
+	}
+	return neighborW, 1 - sum
+}

@@ -1,0 +1,159 @@
+package rex_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rex"
+)
+
+// buildWorkload prepares a small partitioned dataset through the public
+// API only.
+func buildWorkload(t testing.TB, nodes int, seed int64) (train, test [][]rex.Rating) {
+	t.Helper()
+	spec := rex.MovieLensLatest().Scaled(0.06)
+	spec.Seed = seed
+	ds := rex.GenerateMovieLens(spec)
+	tr, te := ds.SplitPerUser(0.7, rand.New(rand.NewSource(seed)))
+	trainParts, err := tr.PartitionUsersAcross(nodes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testParts, err := te.PartitionUsersAcross(nodes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trainParts, testParts
+}
+
+func TestFacadeSimulateREXvsMS(t *testing.T) {
+	const n = 12
+	train, test := buildWorkload(t, n, 31)
+	g := rex.SmallWorld(n, 4, 0.05, rand.New(rand.NewSource(31)))
+	mcfg := rex.DefaultMFConfig()
+	run := func(mode rex.Mode) *rex.SimResult {
+		res, err := rex.Simulate(rex.SimConfig{
+			Graph: g, Algo: rex.DPSGD, Mode: mode,
+			Epochs: 40, StepsPerEpoch: 150, SharePoints: 60,
+			NewModel: func(int) rex.Model { return rex.NewMF(mcfg) },
+			Train:    train, Test: test,
+			Compute: rex.MFCompute(mcfg.K), Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ms := run(rex.ModelSharing)
+	ds := run(rex.DataSharing)
+	if ds.BytesPerNode >= ms.BytesPerNode {
+		t.Fatalf("REX moved more bytes than MS: %.0f vs %.0f", ds.BytesPerNode, ms.BytesPerNode)
+	}
+	if ds.TotalTimeMean >= ms.TotalTimeMean {
+		t.Fatalf("REX slower than MS: %.2f vs %.2f", ds.TotalTimeMean, ms.TotalTimeMean)
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	const n = 4
+	train, test := buildWorkload(t, n, 33)
+	mcfg := rex.DefaultMFConfig()
+	nodes := make([]*rex.Node, n)
+	for i := range nodes {
+		nodes[i] = rex.NewNode(rex.NodeConfig{
+			ID: i, Mode: rex.DataSharing, Algo: rex.DPSGD,
+			StepsPerEpoch: 80, SharePoints: 20, Seed: 33,
+		}, rex.NewMF(mcfg), train[i], test[i])
+	}
+	stats, err := rex.RunCluster(rex.ClusterConfig{
+		Graph: rex.FullyConnected(n), Nodes: nodes, Epochs: 5,
+		Secure:   true,
+		NewModel: func() rex.Model { return rex.NewMF(mcfg) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stats {
+		if s.Attested != n-1 {
+			t.Fatalf("node %d attested %d", i, s.Attested)
+		}
+	}
+}
+
+func TestFacadeCentralizedBaseline(t *testing.T) {
+	spec := rex.MovieLensLatest().Scaled(0.05)
+	spec.Seed = 35
+	ds := rex.GenerateMovieLens(spec)
+	tr, te := ds.SplitPerUser(0.7, rand.New(rand.NewSource(35)))
+	res := rex.Centralized(rex.NewMF(rex.DefaultMFConfig()), tr.Ratings, te.Ratings, 8, len(tr.Ratings), 35)
+	if res.FinalRMSE >= res.RMSE[0] {
+		t.Fatal("baseline did not improve")
+	}
+}
+
+func TestFacadeDNN(t *testing.T) {
+	cfg := rex.DefaultDNNConfig(20, 50)
+	cfg.EmbDim = 4
+	cfg.Hidden = []int{8, 6}
+	m := rex.NewDNN(cfg)
+	if m.ParamCount() <= 0 {
+		t.Fatal("empty DNN")
+	}
+	if p := m.Predict(0, 0); p < -10 || p > 10 {
+		t.Fatalf("implausible prediction %v", p)
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	if g := rex.SmallWorld(40, 6, 0.03, rng); g.N() != 40 {
+		t.Fatal("small world size")
+	}
+	if g := rex.ErdosRenyi(40, 0.1, rng); g.N() != 40 {
+		t.Fatal("ER size")
+	}
+	if g := rex.FullyConnected(8); g.NumEdges() != 28 {
+		t.Fatal("complete graph")
+	}
+}
+
+func TestFacadeStore(t *testing.T) {
+	s := rex.NewStore([]rex.Rating{{User: 1, Item: 2, Value: 3}})
+	if s.Len() != 1 {
+		t.Fatal("store len")
+	}
+	if added := s.Append([]rex.Rating{{User: 1, Item: 2, Value: 3}}); added != 0 {
+		t.Fatal("duplicate added")
+	}
+}
+
+// ExampleSimulate demonstrates the smallest REX-vs-model-sharing
+// comparison via the public API.
+func ExampleSimulate() {
+	spec := rex.MovieLensLatest().Scaled(0.05)
+	spec.Seed = 1
+	ds := rex.GenerateMovieLens(spec)
+	train, test := ds.SplitPerUser(0.7, rand.New(rand.NewSource(1)))
+	const n = 8
+	trainParts, _ := train.PartitionUsersAcross(n, rand.New(rand.NewSource(1)))
+	testParts, _ := test.PartitionUsersAcross(n, rand.New(rand.NewSource(1)))
+	mcfg := rex.DefaultMFConfig()
+
+	res, err := rex.Simulate(rex.SimConfig{
+		Graph: rex.FullyConnected(n), Algo: rex.DPSGD, Mode: rex.DataSharing,
+		Epochs: 10, StepsPerEpoch: 100, SharePoints: 50,
+		NewModel: func(int) rex.Model { return rex.NewMF(mcfg) },
+		Train:    trainParts, Test: testParts,
+		Compute: rex.MFCompute(mcfg.K), Seed: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("epochs simulated: %d\n", len(res.Series))
+	fmt.Printf("improved: %v\n", res.FinalRMSE < res.Series[0].MeanRMSE)
+	// Output:
+	// epochs simulated: 10
+	// improved: true
+}
