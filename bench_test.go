@@ -6,8 +6,10 @@ package rex
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"rex/internal/core"
 	"rex/internal/experiments"
@@ -270,3 +272,115 @@ func BenchmarkExtCompression(b *testing.B) { benchExperiment(b, "ext-compression
 func BenchmarkExtKNN(b *testing.B)         { benchExperiment(b, "ext-knn") }
 
 func BenchmarkExtDynamic(b *testing.B) { benchExperiment(b, "ext-dynamic") }
+
+// --- parallel engine benches: sequential-vs-parallel equivalence and
+// wall-clock speedup of the worker pool (sim.Config.Workers) ---
+
+// parallelWorkload is the acceptance workload for the parallel engine: a
+// 64-node small-world graph running 50 epochs of D-PSGD data sharing.
+func parallelWorkload(b *testing.B, workers int) sim.Config {
+	b.Helper()
+	const seed = 21
+	spec := movielens.Latest().Scaled(0.15)
+	spec.Seed = seed
+	ds := movielens.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	const n = 64
+	trainParts, err := tr.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	testParts, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := mf.DefaultConfig()
+	return sim.Config{
+		Graph: topology.SmallWorld(n, 6, 0.03, rand.New(rand.NewSource(seed))),
+		Algo:  gossip.DPSGD, Mode: core.DataSharing,
+		Epochs: 50, StepsPerEpoch: 300, SharePoints: 100,
+		Workers:  workers,
+		NewModel: func(int) model.Model { return mf.New(mcfg) },
+		Train:    trainParts, Test: testParts,
+		Compute: sim.MFCompute(mcfg.K), Seed: seed,
+	}
+}
+
+// BenchmarkSimWorkers measures the wall-clock effect of the worker pool on
+// the 64-node / 50-epoch D-PSGD workload; compare the workers=1 and
+// workers=N per-op times for the speedup. Workload construction happens
+// outside the timed region so only sim.Run is measured (Run never mutates
+// the shared Train/Test partitions or the graph, so one Config serves all
+// iterations).
+func BenchmarkSimWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := parallelWorkload(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// resultsIdentical compares two runs bit-for-bit: every series row and the
+// aggregate metrics, with NaN equal to NaN (TestEvery-skipped epochs).
+func resultsIdentical(a, b *sim.Result) bool {
+	f64eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	stEq := func(x, y sim.StageTimes) bool {
+		return f64eq(x.Merge, y.Merge) && f64eq(x.Train, y.Train) &&
+			f64eq(x.Share, y.Share) && f64eq(x.Test, y.Test)
+	}
+	if len(a.Series) != len(b.Series) {
+		return false
+	}
+	for i := range a.Series {
+		x, y := a.Series[i], b.Series[i]
+		if x.Epoch != y.Epoch || !f64eq(x.MeanRMSE, y.MeanRMSE) ||
+			!f64eq(x.TimeMean, y.TimeMean) || !f64eq(x.TimeMax, y.TimeMax) ||
+			!f64eq(x.BytesPerNode, y.BytesPerNode) ||
+			!f64eq(x.EpochBytesPerNode, y.EpochBytesPerNode) || !stEq(x.Stage, y.Stage) {
+			return false
+		}
+	}
+	return f64eq(a.FinalRMSE, b.FinalRMSE) && f64eq(a.TotalTimeMean, b.TotalTimeMean) &&
+		f64eq(a.TotalTimeMax, b.TotalTimeMax) && f64eq(a.BytesPerNode, b.BytesPerNode) &&
+		stEq(a.Stage, b.Stage) && a.PeakHeapBytes == b.PeakHeapBytes &&
+		f64eq(a.MeanHeapBytes, b.MeanHeapBytes) && a.FailedNodes == b.FailedNodes
+}
+
+// BenchmarkSimParallelEquivalence runs the workload sequentially and on 4
+// workers each iteration, fails unless the results agree bit-for-bit, and
+// reports the speedup — the engine's correctness contract as a benchmark.
+// Only the sim.Run calls are timed.
+func BenchmarkSimParallelEquivalence(b *testing.B) {
+	seqCfg := parallelWorkload(b, 1)
+	parCfg := parallelWorkload(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		seq, err := sim.Run(seqCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tSeq := time.Since(t0)
+		t0 = time.Now()
+		par, err := sim.Run(parCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tPar := time.Since(t0)
+		if !resultsIdentical(seq, par) {
+			b.Fatalf("parallel run diverged from sequential: %+v vs %+v", seq, par)
+		}
+		b.ReportMetric(tSeq.Seconds()/tPar.Seconds(), "speedup-4w")
+	}
+}

@@ -18,11 +18,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
-		full   = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		points = flag.Int("points", 12, "series rows printed per curve")
-		list   = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
+		full    = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		points  = flag.Int("points", 12, "series rows printed per curve")
+		workers = flag.Int("workers", 0, "simulator goroutines per epoch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		list    = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -33,7 +34,7 @@ func main() {
 		return
 	}
 
-	params := experiments.Params{Full: *full, Seed: *seed, Out: os.Stdout, Points: *points}
+	params := experiments.Params{Full: *full, Seed: *seed, Out: os.Stdout, Points: *points, Workers: *workers}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)

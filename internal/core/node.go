@@ -74,6 +74,12 @@ type Config struct {
 // Payload is one gossip message's content after decryption: either model
 // parameters (MS) or raw ratings (REX), plus the sender's degree, which
 // D-PSGD receivers need for Metropolis–Hastings weighting (§III-C2).
+//
+// Receivers must treat Model and Data as read-only: under D-PSGD the
+// sender builds one Payload per epoch and every neighbor gets the same
+// clone, so several nodes may merge the same backing arrays concurrently
+// when the simulator runs with Workers > 1. Model.MergeWeighted
+// implementations honor this by never mutating their sources.
 type Payload struct {
 	From   int
 	Degree int
@@ -94,6 +100,14 @@ type MergeStats struct {
 
 // Node is one REX participant's enclaved state: its model, its raw-data
 // store (protected memory), and its private test set.
+//
+// A Node is self-contained: every method touches only the node's own
+// model, store, test set and RNG, plus read-only views of its inputs
+// (Payloads are snapshots of the sender's state — a model clone or a
+// sampled copy of raw points — never live references). This is the
+// invariant that lets the simulator step distinct nodes of one epoch
+// concurrently (sim.Config.Workers) with bit-identical results; methods
+// of a single Node are not safe for concurrent use.
 type Node struct {
 	Cfg   Config
 	Model model.Model

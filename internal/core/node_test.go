@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"rex/internal/dataset"
@@ -205,5 +206,78 @@ func TestNodeRNGDeterministic(t *testing.T) {
 	b := mkNode(t, DataSharing, gossip.DPSGD, someRatings(30, 22))
 	if a.RNG().Int63() != b.RNG().Int63() {
 		t.Fatal("equal configs produced different rng streams")
+	}
+}
+
+// TestSharePayloadIsSnapshot enforces the self-containment contract the
+// parallel simulator relies on: what Share hands out must be decoupled
+// from the sender's live state.
+func TestSharePayloadIsSnapshot(t *testing.T) {
+	// DataSharing: the sampled slice must not alias the store.
+	n := mkNode(t, DataSharing, gossip.DPSGD, someRatings(50, 3))
+	p := n.Share(4, false)
+	if len(p.Data) == 0 {
+		t.Fatal("no data shared")
+	}
+	orig := p.Data[0]
+	p.Data[0].Value = -99
+	for _, r := range n.Store.Ratings() {
+		if r.User == orig.User && r.Item == orig.Item && r.Value == -99 {
+			t.Fatal("mutating the shared sample corrupted the sender's store")
+		}
+	}
+
+	// ModelSharing with cloneModel=true: the payload model must be an
+	// independent copy.
+	m := mkNode(t, ModelSharing, gossip.DPSGD, someRatings(50, 4))
+	m.Train()
+	before, err := m.Model.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := m.Share(4, true)
+	pm.Model.Train(someRatings(30, 5), 200, rand.New(rand.NewSource(9)))
+	after, err := m.Model.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("training the shared clone mutated the sender's model")
+	}
+}
+
+// TestConcurrentMergeOfSharedPayload enforces that Merge treats payload
+// contents as read-only: under D-PSGD every neighbor receives the same
+// model clone, and with sim.Config.Workers > 1 they merge it
+// concurrently. Run under -race this fails if any implementation writes
+// to its sources; it also demands identical outcomes for every receiver.
+func TestConcurrentMergeOfSharedPayload(t *testing.T) {
+	sender := mkNode(t, ModelSharing, gossip.DPSGD, someRatings(60, 6))
+	sender.Train()
+	payload := sender.Share(4, true)
+
+	const receivers = 8
+	outs := make([][]byte, receivers)
+	var wg sync.WaitGroup
+	wg.Add(receivers)
+	for r := 0; r < receivers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			cfg := Config{ID: 0, Mode: ModelSharing, Algo: gossip.DPSGD, StepsPerEpoch: 50, Seed: 1}
+			node := NewNode(cfg, mf.New(mf.DefaultConfig()), someRatings(40, 7), nil)
+			node.Merge([]Payload{payload}, 4)
+			b, err := node.Model.Marshal()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[r] = b
+		}(r)
+	}
+	wg.Wait()
+	for r := 1; r < receivers; r++ {
+		if string(outs[r]) != string(outs[0]) {
+			t.Fatalf("receiver %d diverged from receiver 0", r)
+		}
 	}
 }

@@ -32,7 +32,7 @@ func init() {
 			if err != nil {
 				return err
 			}
-			staticCfg := simConfig(w, gStatic, gossip.RMW, core.DataSharing, p.Full, p.Seed, mcfg)
+			staticCfg := simConfig(w, gStatic, gossip.RMW, core.DataSharing, p, mcfg)
 			static, err := sim.Run(staticCfg)
 			if err != nil {
 				return err
@@ -47,7 +47,7 @@ func init() {
 				ps.Step() // warm-up mixing before training starts
 			}
 			lastEpoch := -1
-			dynCfg := simConfig(w, gStatic, gossip.RMW, core.DataSharing, p.Full, p.Seed, mcfg)
+			dynCfg := simConfig(w, gStatic, gossip.RMW, core.DataSharing, p, mcfg)
 			dynCfg.Topology = func(epoch int) *topology.Graph {
 				if epoch != lastEpoch {
 					ps.Step()

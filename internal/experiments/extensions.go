@@ -89,7 +89,7 @@ func init() {
 					w.train = partitionNonIID(dataset.New(tr.Ratings), n)
 					w.test = partitionNonIID(dataset.New(te.Ratings), n)
 				}
-				return sim.Run(simConfig(w, g, gossip.DPSGD, mode, p.Full, p.Seed, mcfg))
+				return sim.Run(simConfig(w, g, gossip.DPSGD, mode, p, mcfg))
 			}
 
 			t := metrics.NewTable("Partitioning", "Scheme", "Final RMSE", "Sim time")
@@ -140,7 +140,7 @@ func init() {
 					failAt[rng.Intn(n)] = epochs(p.Full) / 3
 				}
 				for _, mode := range []core.Mode{core.ModelSharing, core.DataSharing} {
-					cfg := simConfig(w, g, gossip.DPSGD, mode, p.Full, p.Seed, mcfg)
+					cfg := simConfig(w, g, gossip.DPSGD, mode, p, mcfg)
 					cfg.FailAt = failAt
 					res, err := sim.Run(cfg)
 					if err != nil {
@@ -183,7 +183,7 @@ func init() {
 					byz[rng.Intn(n)] = true
 				}
 				for _, mode := range []core.Mode{core.ModelSharing, core.DataSharing} {
-					cfg := simConfig(w, g, gossip.DPSGD, mode, p.Full, p.Seed, mcfg)
+					cfg := simConfig(w, g, gossip.DPSGD, mode, p, mcfg)
 					cfg.Byzantine = byz
 					res, err := sim.Run(cfg)
 					if err != nil {

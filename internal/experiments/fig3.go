@@ -34,13 +34,13 @@ func init() {
 			for _, k := range fig3Ks {
 				mcfg := mf.DefaultConfig()
 				mcfg.K = k
-				msCfg := simConfig(w, g, fourSetups[2].algo, core.ModelSharing, p.Full, p.Seed, mcfg)
+				msCfg := simConfig(w, g, fourSetups[2].algo, core.ModelSharing, p, mcfg)
 				msCfg.Compute = sim.MFCompute(k)
 				ms, err := sim.Run(msCfg)
 				if err != nil {
 					return fmt.Errorf("fig3 k=%d MS: %w", k, err)
 				}
-				rexCfg := simConfig(w, g, fourSetups[2].algo, core.DataSharing, p.Full, p.Seed, mcfg)
+				rexCfg := simConfig(w, g, fourSetups[2].algo, core.DataSharing, p, mcfg)
 				rexCfg.Compute = sim.MFCompute(k)
 				rex, err := sim.Run(rexCfg)
 				if err != nil {

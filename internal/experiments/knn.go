@@ -30,7 +30,7 @@ func init() {
 				return err
 			}
 			mcfg := mf.DefaultConfig()
-			cfg := simConfig(w, g, gossip.DPSGD, core.DataSharing, p.Full, p.Seed, mcfg)
+			cfg := simConfig(w, g, gossip.DPSGD, core.DataSharing, p, mcfg)
 			cfg.KeepState = true
 			res, err := sim.Run(cfg)
 			if err != nil {

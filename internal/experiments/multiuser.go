@@ -34,11 +34,11 @@ func multiUserRuns(p Params) ([]pairResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			ms, err := sim.Run(simConfig(w, g, s.algo, core.ModelSharing, p.Full, p.Seed, mcfg))
+			ms, err := sim.Run(simConfig(w, g, s.algo, core.ModelSharing, p, mcfg))
 			if err != nil {
 				return nil, fmt.Errorf("%v MS: %w", s, err)
 			}
-			rex, err := sim.Run(simConfig(w, g, s.algo, core.DataSharing, p.Full, p.Seed, mcfg))
+			rex, err := sim.Run(simConfig(w, g, s.algo, core.DataSharing, p, mcfg))
 			if err != nil {
 				return nil, fmt.Errorf("%v REX: %w", s, err)
 			}

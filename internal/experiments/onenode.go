@@ -39,11 +39,11 @@ func oneNodeRuns(p Params) ([]pairResult, *baseline.Result, error) {
 			if err != nil {
 				return bundle{}, err
 			}
-			ms, err := sim.Run(simConfig(w, g, s.algo, core.ModelSharing, p.Full, p.Seed, mcfg))
+			ms, err := sim.Run(simConfig(w, g, s.algo, core.ModelSharing, p, mcfg))
 			if err != nil {
 				return bundle{}, fmt.Errorf("%v MS: %w", s, err)
 			}
-			rex, err := sim.Run(simConfig(w, g, s.algo, core.DataSharing, p.Full, p.Seed, mcfg))
+			rex, err := sim.Run(simConfig(w, g, s.algo, core.DataSharing, p, mcfg))
 			if err != nil {
 				return bundle{}, fmt.Errorf("%v REX: %w", s, err)
 			}

@@ -87,7 +87,7 @@ func sgxRun(p Params, big bool, cell sgxCell) (*sim.Result, error) {
 			return nil, err
 		}
 		mcfg := mf.DefaultConfig()
-		cfg := simConfig(w, g, cell.algo, cell.mode, p.Full, p.Seed, mcfg)
+		cfg := simConfig(w, g, cell.algo, cell.mode, p, mcfg)
 		cfg.Epochs = sgxEpochs(p.Full)
 		cfg.SGX = cell.sgx
 		cfg.Enclave = sgxEnclaveParams(p.Full, big)

@@ -163,21 +163,22 @@ func scaledEnclaveParams(full bool) enclave.Params {
 }
 
 // simConfig assembles the common parts of a simulated MF run.
-func simConfig(w *workload, g *topology.Graph, algo gossip.Algo, mode core.Mode, full bool, seed int64, mcfg mf.Config) sim.Config {
+func simConfig(w *workload, g *topology.Graph, algo gossip.Algo, mode core.Mode, p Params, mcfg mf.Config) sim.Config {
 	return sim.Config{
 		Graph:         g,
 		Algo:          algo,
 		Mode:          mode,
-		Epochs:        epochs(full),
+		Epochs:        epochs(p.Full),
 		StepsPerEpoch: 300,
-		SharePoints:   sharePoints(full),
+		SharePoints:   sharePoints(p.Full),
+		Workers:       p.Workers,
 		NewModel:      mfModelFactory(mcfg),
 		Train:         w.train,
 		Test:          w.test,
 		Net:           sim.DefaultNet(),
 		Compute:       sim.MFCompute(mcfg.K),
-		TestEvery:     testCadence(full),
-		Seed:          seed,
+		TestEvery:     testCadence(p.Full),
+		Seed:          p.Seed,
 	}
 }
 

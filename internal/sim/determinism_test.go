@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/movielens"
+	"rex/internal/nn"
+	"rex/internal/topology"
+)
+
+// tinyConfig builds a quick workload exercising every determinism-relevant
+// feature: crashes, Byzantine peers, and an irregular small-world graph.
+func tinyConfig(t testing.TB, mode core.Mode, algo gossip.Algo) Config {
+	t.Helper()
+	n := 16
+	train, test := buildSmall(t, n, 7)
+	mcfg := mf.DefaultConfig()
+	return Config{
+		Graph: topology.SmallWorld(n, 4, 0.2, rand.New(rand.NewSource(3))),
+		Algo:  algo, Mode: mode,
+		Epochs: 18, StepsPerEpoch: 120, SharePoints: 60,
+		FailAt:    map[int]int{1: 4, 5: 9},
+		Byzantine: map[int]bool{2: true, 7: true},
+		NewModel:  func(id int) model.Model { return mf.New(mcfg) },
+		Train:     train, Test: test,
+		Compute: MFCompute(mcfg.K),
+		Seed:    99,
+	}
+}
+
+// f64bitsEq compares floats byte-for-byte; unlike ==, NaN equals NaN, so
+// TestEvery-skipped epochs compare equal too.
+func f64bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func stageEq(a, b StageTimes) bool {
+	return f64bitsEq(a.Merge, b.Merge) && f64bitsEq(a.Train, b.Train) &&
+		f64bitsEq(a.Share, b.Share) && f64bitsEq(a.Test, b.Test)
+}
+
+// requireIdentical asserts two results are byte-for-byte identical across
+// the series and the aggregate metrics.
+func requireIdentical(t testing.TB, a, b *Result) {
+	t.Helper()
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series lengths differ: %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		x, y := a.Series[i], b.Series[i]
+		ok := x.Epoch == y.Epoch &&
+			f64bitsEq(x.MeanRMSE, y.MeanRMSE) &&
+			f64bitsEq(x.TimeMean, y.TimeMean) &&
+			f64bitsEq(x.TimeMax, y.TimeMax) &&
+			f64bitsEq(x.BytesPerNode, y.BytesPerNode) &&
+			f64bitsEq(x.EpochBytesPerNode, y.EpochBytesPerNode) &&
+			stageEq(x.Stage, y.Stage)
+		if !ok {
+			t.Fatalf("epoch %d diverged:\n%+v\nvs\n%+v", i, x, y)
+		}
+	}
+	if !f64bitsEq(a.FinalRMSE, b.FinalRMSE) || !f64bitsEq(a.TotalTimeMean, b.TotalTimeMean) ||
+		!f64bitsEq(a.TotalTimeMax, b.TotalTimeMax) || !f64bitsEq(a.BytesPerNode, b.BytesPerNode) ||
+		!stageEq(a.Stage, b.Stage) || a.PeakHeapBytes != b.PeakHeapBytes ||
+		!f64bitsEq(a.MeanHeapBytes, b.MeanHeapBytes) || a.FailedNodes != b.FailedNodes {
+		t.Fatalf("aggregates diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestParallelMatchesSequential is the engine's core guarantee: for any
+// fixed seed, Workers>1 produces byte-for-byte the same Result as
+// Workers=1, across both sharing modes and both dissemination algorithms,
+// with crash failures and Byzantine nodes active.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, mode := range []core.Mode{core.DataSharing, core.ModelSharing} {
+		for _, algo := range []gossip.Algo{gossip.RMW, gossip.DPSGD} {
+			t.Run(fmt.Sprintf("%v-%v", mode, algo), func(t *testing.T) {
+				seq := tinyConfig(t, mode, algo)
+				seq.Workers = 1
+				a, err := Run(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par := tinyConfig(t, mode, algo)
+				par.Workers = 8
+				b, err := Run(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, a, b)
+			})
+		}
+	}
+}
+
+// TestSameSeedSameSeries re-runs an identical config (default worker
+// count) and demands an identical series — reproducibility under the
+// parallel default.
+func TestSameSeedSameSeries(t *testing.T) {
+	cfg := tinyConfig(t, core.DataSharing, gossip.DPSGD)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := tinyConfig(t, core.DataSharing, gossip.DPSGD)
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, a, b)
+}
+
+// TestSGXParallelMatchesSequential covers the enclave cost model too: the
+// per-node Enclave has mutable stats and heap tracking, so this pins down
+// that enclave state stays node-local under concurrency.
+func TestSGXParallelMatchesSequential(t *testing.T) {
+	seq := tinyConfig(t, core.DataSharing, gossip.DPSGD)
+	seq.Epochs = 10
+	seq.SGX = true
+	seq.AttestSetupSec = 0.02
+	seq.Workers = 1
+	a, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tinyConfig(t, core.DataSharing, gossip.DPSGD)
+	par.Epochs = 10
+	par.SGX = true
+	par.AttestSetupSec = 0.02
+	par.Workers = 6
+	b, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Attestations == 0 || a.Attestations != b.Attestations {
+		t.Fatalf("attestation counts diverged: %d vs %d", a.Attestations, b.Attestations)
+	}
+	requireIdentical(t, a, b)
+}
+
+// TestFailAtStatsUseAliveCount is the regression test for the per-epoch
+// divisor bug: Stage and EpochBytesPerNode are means over the nodes alive
+// that epoch, so with fixed SGD steps the per-epoch mean train time must
+// not drop when half the network crashes (the old code divided by all n,
+// halving it).
+func TestFailAtStatsUseAliveCount(t *testing.T) {
+	cfg := tinyConfig(t, core.DataSharing, gossip.DPSGD)
+	cfg.Epochs = 10
+	failEpoch := 5
+	cfg.FailAt = map[int]int{}
+	cfg.Byzantine = nil
+	n := cfg.Graph.N()
+	for id := 0; id < n/2; id++ {
+		cfg.FailAt[id] = failEpoch
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedNodes != n/2 {
+		t.Fatalf("FailedNodes = %d, want %d", res.FailedNodes, n/2)
+	}
+	// Every alive node runs exactly StepsPerEpoch steps per epoch, so the
+	// per-alive-node mean train time is the same constant before and
+	// after the crashes.
+	before := res.Series[failEpoch-1].Stage.Train
+	after := res.Series[failEpoch+1].Stage.Train
+	if math.Abs(after-before) > 1e-9*before {
+		t.Errorf("mean train time changed after crashes: before %.9g after %.9g", before, after)
+	}
+	// Share time is charged per neighbor regardless of the neighbor's
+	// state, so it is also invariant per alive node.
+	beforeS := res.Series[failEpoch-1].Stage.Share
+	afterS := res.Series[failEpoch+1].Stage.Share
+	if math.Abs(afterS-beforeS) > 1e-9*beforeS {
+		t.Errorf("mean share time changed after crashes: before %.9g after %.9g", beforeS, afterS)
+	}
+	if res.Series[failEpoch+1].EpochBytesPerNode <= 0 {
+		t.Error("EpochBytesPerNode vanished after crashes")
+	}
+}
+
+// TestAllNodesCrashedStatsZero pins the degenerate divisor: once every
+// node is dead an epoch's means are zero, not NaN.
+func TestAllNodesCrashedStatsZero(t *testing.T) {
+	cfg := tinyConfig(t, core.DataSharing, gossip.DPSGD)
+	cfg.Epochs = 6
+	cfg.Byzantine = nil
+	cfg.FailAt = map[int]int{}
+	for id := 0; id < cfg.Graph.N(); id++ {
+		cfg.FailAt[id] = 3
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := res.Series[4]
+	if math.IsNaN(late.EpochBytesPerNode) || late.EpochBytesPerNode != 0 {
+		t.Errorf("EpochBytesPerNode = %v, want 0", late.EpochBytesPerNode)
+	}
+	if math.IsNaN(late.Stage.Total()) || late.Stage.Total() != 0 {
+		t.Errorf("Stage.Total = %v, want 0", late.Stage.Total())
+	}
+}
+
+// TestDNNParallelMatchesSequential pins the bit-identical contract for the
+// DNN recommender too: under D-PSGD model sharing every neighbor merges
+// the same nn.Net clone, concurrently when Workers > 1, so this guards
+// nn.MergeWeighted (and forward-pass state) staying read-only on payload
+// sources — the MF-only suite would miss a regression confined to nn.
+func TestDNNParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		n := 8
+		spec := movielens.Latest().Scaled(0.06)
+		spec.Seed = 5
+		ds := movielens.Generate(spec)
+		rng := rand.New(rand.NewSource(5))
+		tr, te := ds.SplitPerUser(0.7, rng)
+		train, err := tr.PartitionUsersAcross(n, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		test, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncfg := nn.DefaultConfig(ds.NumUsers, ds.NumItems)
+		ncfg.EmbDim = 4
+		ncfg.Hidden = []int{8, 4}
+		ncfg.BatchSize = 8
+		res, err := Run(Config{
+			Graph: topology.SmallWorld(n, 4, 0.2, rand.New(rand.NewSource(2))),
+			Algo:  gossip.DPSGD, Mode: core.ModelSharing,
+			Epochs: 6, StepsPerEpoch: 20,
+			Workers:   workers,
+			FailAt:    map[int]int{3: 4},
+			Byzantine: map[int]bool{1: true},
+			NewModel:  func(int) model.Model { return nn.NewNet(ncfg) },
+			Train:     train, Test: test,
+			Compute: DNNCompute(100, ncfg.EmbDim, ncfg.BatchSize),
+			Seed:    5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	requireIdentical(t, run(1), run(8))
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/enclave"
+	"rex/internal/model"
+)
+
+// engine holds one run's mutable state. Every cross-node slice is indexed
+// by node id; during the parallel section of an epoch a worker touches only
+// the slots of the node it is stepping, which is what makes the parallel
+// path race-free and bit-identical to the sequential one.
+type engine struct {
+	cfg        Config
+	n          int
+	secPerFlop float64
+	heapF      HeapFactors
+
+	nodes    []*core.Node
+	encl     []*enclave.Enclave
+	clocks   []float64
+	inbox    [][]message
+	cumBytes []float64 // in+out per node, cumulative
+	alive    []bool
+	peakHeap []int64
+
+	// Per-epoch scratch, reused across epochs. results[i] is written only
+	// by the worker stepping node i; rmse/rmseOK likewise.
+	results []nodeResult
+	rmse    []float64
+	rmseOK  []bool
+
+	pool     *pool
+	res      *Result
+	stageSum StageTimes
+}
+
+// nodeResult carries everything a node step produces beyond the node's own
+// state: staged deliveries and the accounting terms that must be folded in
+// ascending node-index order so parallel runs reproduce the sequential
+// floating-point sums exactly.
+type nodeResult struct {
+	stage StageTimes
+	bytes float64 // in+out traffic this epoch
+	out   []delivery
+}
+
+// delivery is one staged message awaiting the epoch barrier.
+type delivery struct {
+	to  int
+	msg message
+}
+
+// Run executes the configured network and returns its metrics. The run is
+// deterministic in Config.Seed, independent of Config.Workers.
+func Run(cfg Config) (*Result, error) {
+	n := cfg.Graph.N()
+	if len(cfg.Train) != n || len(cfg.Test) != n {
+		return nil, fmt.Errorf("sim: partitions (%d train, %d test) do not match %d nodes",
+			len(cfg.Train), len(cfg.Test), n)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("sim: epochs must be positive")
+	}
+	if cfg.TestEvery <= 0 {
+		cfg.TestEvery = 1
+	}
+	if cfg.Net.BandwidthBps == 0 {
+		cfg.Net = DefaultNet()
+	}
+	if cfg.SGX && cfg.Enclave.EPCBytes == 0 {
+		cfg.Enclave = enclave.DefaultParams()
+	}
+	if cfg.Compute.SecPerFlop == 0 {
+		cfg.Compute.SecPerFlop = 1e-9
+	}
+
+	eng := newEngine(cfg, n)
+	defer eng.pool.close()
+	for e := 0; e < cfg.Epochs; e++ {
+		eng.runEpoch(e)
+	}
+	return eng.finish(), nil
+}
+
+// newEngine builds all per-node state and charges attestation bootstrap.
+func newEngine(cfg Config, n int) *engine {
+	eng := &engine{
+		cfg:        cfg,
+		n:          n,
+		secPerFlop: cfg.Compute.SecPerFlop,
+		heapF:      cfg.Heap.orDefault(),
+		nodes:      make([]*core.Node, n),
+		encl:       make([]*enclave.Enclave, n),
+		clocks:     make([]float64, n),
+		inbox:      make([][]message, n),
+		cumBytes:   make([]float64, n),
+		alive:      make([]bool, n),
+		peakHeap:   make([]int64, n),
+		results:    make([]nodeResult, n),
+		rmse:       make([]float64, n),
+		rmseOK:     make([]bool, n),
+		res:        &Result{Series: make([]EpochStats, 0, cfg.Epochs)},
+	}
+	meas := attest.MeasureCode([]byte("rex-enclave-v1"))
+	for i := 0; i < n; i++ {
+		eng.alive[i] = true
+		eng.nodes[i] = core.NewNode(core.Config{
+			ID:            i,
+			Mode:          cfg.Mode,
+			Algo:          cfg.Algo,
+			StepsPerEpoch: cfg.StepsPerEpoch,
+			SharePoints:   cfg.SharePoints,
+			Seed:          cfg.Seed,
+			UniformMerge:  cfg.UniformMerge,
+			Byzantine:     cfg.Byzantine[i],
+		}, cfg.NewModel(i), cfg.Train[i], cfg.Test[i])
+		eng.encl[i] = enclave.New(meas, cfg.Enclave, cfg.SGX)
+		eng.encl[i].SetHeap(nodeHeap(eng.nodes[i], eng.heapF, 0))
+		if cfg.SGX {
+			// Mutual attestation with every neighbor before any data
+			// flows (§III-A); pairs overlap, so charge per neighbor.
+			d := cfg.Graph.Degree(i)
+			eng.clocks[i] = cfg.AttestSetupSec * float64(d)
+			eng.res.Attestations += d
+		}
+	}
+	eng.res.Attestations /= 2 // counted from both endpoints
+	// Spawn the pool last: node construction above runs user callbacks
+	// (cfg.NewModel), and a panic there must not leak worker goroutines —
+	// Run's deferred close is only installed once newEngine returns.
+	eng.pool = newPool(cfg.Workers)
+	return eng
+}
+
+// finish assembles the Result after the last epoch.
+func (eng *engine) finish() *Result {
+	res := eng.res
+	last := res.Series[len(res.Series)-1]
+	res.TotalTimeMean = last.TimeMean
+	res.TotalTimeMax = last.TimeMax
+	res.BytesPerNode = last.BytesPerNode
+	res.Stage = eng.stageSum.scale(1 / float64(eng.cfg.Epochs))
+	var heapSum float64
+	for i := 0; i < eng.n; i++ {
+		if eng.peakHeap[i] > res.PeakHeapBytes {
+			res.PeakHeapBytes = eng.peakHeap[i]
+		}
+		heapSum += float64(eng.peakHeap[i])
+	}
+	res.MeanHeapBytes = heapSum / float64(eng.n)
+	if eng.cfg.KeepState {
+		res.Models = make([]model.Model, eng.n)
+		res.Stores = make([][]dataset.Rating, eng.n)
+		for i, nd := range eng.nodes {
+			res.Models[i] = nd.Model
+			res.Stores[i] = nd.Store.Snapshot()
+		}
+	}
+	return res
+}

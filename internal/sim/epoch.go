@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"math"
+
+	"rex/internal/core"
+	"rex/internal/gossip"
+	"rex/internal/topology"
+)
+
+// runEpoch advances every node by one merge-train-share-test round
+// (Algorithm 2). Node steps fan out across the worker pool; everything
+// order-sensitive — message delivery and the floating-point accumulation of
+// epoch statistics — happens afterwards in ascending node-index order,
+// exactly as the sequential engine would, so results are bit-identical for
+// any Config.Workers.
+func (eng *engine) runEpoch(e int) {
+	cfg := &eng.cfg
+	n := eng.n
+	graph := cfg.Graph
+	if cfg.Topology != nil {
+		if g := cfg.Topology(e); g != nil && g.N() == n {
+			graph = g
+		}
+	}
+	// Crash the nodes scheduled to fail this epoch (oracle failure
+	// detection: neighbors immediately stop expecting their traffic).
+	for id, at := range cfg.FailAt {
+		if at == e && id >= 0 && id < n && eng.alive[id] {
+			eng.alive[id] = false
+			eng.res.FailedNodes++
+		}
+	}
+
+	// --- parallel section: step every node against the previous epoch's
+	// inboxes. A worker writes only results[i] and node-i state; payload
+	// models/data from other nodes are read-only here.
+	eng.pool.run(n, func(i int) {
+		eng.results[i] = eng.stepNode(e, graph, i)
+	})
+
+	// --- epoch barrier: deliver staged messages and fold accounting, both
+	// in node-index order.
+	var epochStage StageTimes
+	var epochBytes float64
+	aliveCnt := 0
+	for i := 0; i < n; i++ {
+		if eng.alive[i] {
+			aliveCnt++
+		}
+		r := &eng.results[i]
+		epochStage = epochStage.add(r.stage)
+		epochBytes += r.bytes
+		for _, d := range r.out {
+			eng.inbox[d.to] = append(eng.inbox[d.to], d.msg)
+		}
+		r.out = nil
+	}
+
+	// --- record epoch stats ---
+	stat := EpochStats{Epoch: e, MeanRMSE: math.NaN()}
+	if (e+1)%cfg.TestEvery == 0 || e == cfg.Epochs-1 {
+		eng.pool.run(n, func(i int) {
+			eng.rmseOK[i] = eng.alive[i] && len(eng.nodes[i].Test) > 0
+			if eng.rmseOK[i] {
+				eng.rmse[i] = eng.nodes[i].TestRMSE()
+			}
+		})
+		var sum float64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if eng.rmseOK[i] {
+				sum += eng.rmse[i]
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			stat.MeanRMSE = sum / float64(cnt)
+			eng.res.FinalRMSE = stat.MeanRMSE
+		}
+	}
+	var tm, tmax, bsum float64
+	for i := 0; i < n; i++ {
+		tm += eng.clocks[i]
+		if eng.clocks[i] > tmax {
+			tmax = eng.clocks[i]
+		}
+		bsum += eng.cumBytes[i]
+	}
+	stat.TimeMean = tm / float64(n)
+	stat.TimeMax = tmax
+	stat.BytesPerNode = bsum / float64(n)
+	// Per-epoch means are over the nodes alive this epoch: only they did
+	// work and moved bytes, and dividing by all n would under-report
+	// per-alive-node stage times and traffic after crashes.
+	perAlive := float64(aliveCnt)
+	if aliveCnt == 0 {
+		perAlive = 1 // all crashed: the sums are zero, keep the stats zero
+	}
+	stat.EpochBytesPerNode = epochBytes / perAlive
+	stat.Stage = epochStage.scale(1 / perAlive)
+	eng.stageSum = eng.stageSum.add(stat.Stage)
+	eng.res.Series = append(eng.res.Series, stat)
+}
+
+// stepNode runs node i's merge-train-share-test round for epoch e. It
+// mutates only node-i state (nodes[i], encl[i], clocks[i], cumBytes[i],
+// inbox[i], peakHeap[i]) and returns the staged deliveries plus this
+// node's epoch accounting, so concurrent steps never race.
+func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
+	if !eng.alive[i] {
+		eng.inbox[i] = nil // a dead node consumes nothing
+		return nodeResult{}
+	}
+	cfg := &eng.cfg
+	cp := cfg.Compute
+	node := eng.nodes[i]
+	enc := eng.encl[i]
+	deg := graph.Degree(i)
+
+	// --- gather inputs and the epoch start time ---
+	// Algorithm 2 line 13: a node is ready to train when it has received a
+	// message (possibly empty) from all its neighbors. The barrier applies
+	// to RMW too — only the payload placement differs (one random neighbor
+	// gets content, the rest get empty notifications).
+	var inputs []message
+	start := eng.clocks[i]
+	if e > 0 {
+		inputs = eng.inbox[i]
+		eng.inbox[i] = nil
+		for _, m := range inputs {
+			if m.arrival > start {
+				start = m.arrival
+			}
+		}
+	}
+
+	// --- merge (Alg. 2 lines 15-16) ---
+	payloads := make([]core.Payload, len(inputs))
+	inBytes := 0
+	for k, m := range inputs {
+		payloads[k] = m.payload
+		inBytes += m.bytes
+	}
+	st := node.Merge(payloads, deg)
+	var mergeFlops float64
+	if cfg.Mode == core.ModelSharing {
+		for _, p := range payloads {
+			if p.Model != nil {
+				mergeFlops += float64(p.Model.ParamCount()) * cp.MergeFlopsPerParam
+			}
+		}
+	} else {
+		mergeFlops = float64(st.PointsAppended+st.PointsDuplicate) * cp.AppendFlopsPerPoint
+	}
+	mergeT := mergeFlops * eng.secPerFlop * enc.MemFactor()
+	// Receiving under SGX: one ecall plus traffic decryption per message.
+	for _, m := range inputs {
+		mergeT += enc.ECall(m.bytes).Seconds() + enc.CryptoTime(m.bytes).Seconds()
+	}
+
+	// --- train (Alg. 2 line 17) ---
+	trainT := float64(node.Train()) * cp.TrainStepFlops * eng.secPerFlop * enc.ComputeFactor()
+
+	// --- share (Alg. 2 lines 18-20) ---
+	// The payload goes to the scheme's targets (one random neighbor under
+	// RMW, everyone under D-PSGD); all remaining neighbors receive an
+	// empty notification that keeps the barrier advancing.
+	var out []delivery
+	neighbors := graph.Neighbors(i)
+	payloadTo := gossip.Targets(cfg.Algo, graph, i, node.RNG())
+	isPayload := make(map[int]bool, len(payloadTo))
+	for _, t := range payloadTo {
+		isPayload[t] = true
+	}
+	var shareT float64
+	var outBytes int
+	if len(neighbors) > 0 {
+		payload := node.Share(deg, cfg.Mode == core.ModelSharing)
+		empty := core.Payload{From: i, Degree: deg}
+		wire := core.PayloadWireSize(payload)
+		emptyWire := core.PayloadWireSize(empty)
+		for _, t := range neighbors {
+			w := emptyWire
+			if isPayload[t] {
+				w = wire
+			}
+			shareT += float64(w) * cp.SerializeSecPerByte * enc.MemFactor()
+			shareT += enc.CryptoTime(w).Seconds()
+			shareT += enc.OCall(w).Seconds()
+			shareT += enc.NativeAllocTime(w).Seconds()
+			outBytes += w
+		}
+		sendDone := start + mergeT + trainT + shareT
+		if cfg.ShareParallel && cfg.Mode == core.DataSharing {
+			// Sampling the pre-train store and shipping it can overlap
+			// training (§III-D): dispatch right after the merge; the
+			// share cost itself rides the wire path.
+			sendDone = start + mergeT + shareT
+		}
+		out = make([]delivery, 0, len(neighbors))
+		for _, t := range neighbors {
+			if !eng.alive[t] {
+				continue // oracle: no traffic to crashed peers
+			}
+			pl, w := empty, emptyWire
+			if isPayload[t] {
+				pl, w = payload, wire
+			}
+			out = append(out, delivery{to: t, msg: message{
+				payload: pl,
+				arrival: sendDone + cfg.Net.LatencySec + float64(w)/cfg.Net.BandwidthBps,
+				bytes:   w,
+			}})
+		}
+	}
+
+	// --- test (Alg. 2 line 21) ---
+	var testT float64
+	if (e+1)%cfg.TestEvery == 0 || e == cfg.Epochs-1 {
+		testT = float64(len(node.Test)) * cp.TestFlopsPerExample * eng.secPerFlop * enc.ComputeFactor()
+	}
+
+	elapsed := mergeT + trainT + shareT + testT
+	if cfg.ShareParallel && cfg.Mode == core.DataSharing && shareT < trainT {
+		elapsed = mergeT + trainT + testT // share hidden under training
+	}
+	eng.clocks[i] = start + elapsed
+	eng.cumBytes[i] += float64(inBytes + outBytes)
+
+	// Heap: persistent state plus this epoch's transient buffers
+	// (received copies during merge + outbound serialization).
+	heap := nodeHeap(node, eng.heapF, inBytes+outBytes)
+	enc.SetHeap(heap)
+	if heap > eng.peakHeap[i] {
+		eng.peakHeap[i] = heap
+	}
+
+	return nodeResult{
+		stage: StageTimes{mergeT, trainT, shareT, testT},
+		bytes: float64(inBytes + outBytes),
+		out:   out,
+	}
+}

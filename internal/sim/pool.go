@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a fixed set of persistent worker goroutines executing
+// index-sharded jobs for the engine. Indices are handed out through an
+// atomic counter so uneven per-node costs balance across workers; the
+// scheduling order cannot affect results because every job writes only
+// state owned by its index (see Config.Workers).
+type pool struct {
+	workers int
+	jobs    chan poolJob
+}
+
+type poolJob struct {
+	n        int
+	fn       func(i int)
+	next     *atomic.Int64
+	wg       *sync.WaitGroup
+	panicked *atomic.Pointer[any]
+}
+
+// newPool starts a pool of the requested width; w <= 0 selects GOMAXPROCS.
+// A width-1 pool spawns no goroutines and runs jobs inline on the caller.
+func newPool(w int) *pool {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{workers: w}
+	if w > 1 {
+		p.jobs = make(chan poolJob)
+		for k := 0; k < w; k++ {
+			go p.loop()
+		}
+	}
+	return p
+}
+
+func (p *pool) loop() {
+	for j := range p.jobs {
+		j.drain()
+	}
+}
+
+// drain claims indices until the job is exhausted. A panic in fn is
+// captured (first one wins) and re-raised on the caller's goroutine by run,
+// so a bug surfaces as a panic rather than a deadlocked WaitGroup.
+func (j poolJob) drain() {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			v := r
+			j.panicked.CompareAndSwap(nil, &v)
+			// Claim the remaining indices so sibling workers finish.
+			j.next.Add(int64(j.n))
+		}
+	}()
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(i)
+	}
+}
+
+// run executes fn(i) for every i in [0, n) and returns once all calls have
+// completed. fn must only write state owned by index i.
+func (p *pool) run(n int, fn func(i int)) {
+	if p.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[any]
+	)
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	wg.Add(w)
+	j := poolJob{n: n, fn: fn, next: &next, wg: &wg, panicked: &panicked}
+	for k := 0; k < w; k++ {
+		p.jobs <- j
+	}
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(*pv)
+	}
+}
+
+// close releases the pool's goroutines; the pool must not be used after.
+func (p *pool) close() {
+	if p.jobs != nil {
+		close(p.jobs)
+	}
+}

@@ -1,10 +1,8 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
-	"rex/internal/attest"
 	"rex/internal/core"
 	"rex/internal/dataset"
 	"rex/internal/enclave"
@@ -28,6 +26,15 @@ type Config struct {
 	Epochs        int
 	StepsPerEpoch int // fixed SGD steps per epoch (§III-E); <=0 = full pass
 	SharePoints   int // raw points sampled per epoch in REX mode
+
+	// Workers bounds the goroutines stepping nodes within an epoch. Zero
+	// (the default) uses GOMAXPROCS; 1 forces the sequential path. The
+	// result is bit-identical for every value: within one epoch node i's
+	// merge/train/share/test reads only the previous epoch's inbox and
+	// node-i state, and all cross-node effects — message delivery and
+	// floating-point accumulation of epoch statistics — are folded in
+	// ascending node-index order after the parallel section.
+	Workers int
 
 	// UniformMerge is the §III-C2 ablation: naive uniform averaging in
 	// place of Metropolis-Hastings weights for D-PSGD.
@@ -113,9 +120,9 @@ type EpochStats struct {
 	// node up to and including this epoch — Fig 2 row 1.
 	BytesPerNode float64
 	// EpochBytesPerNode is the mean volume exchanged during this epoch
-	// alone — Fig 3 column 3 and Fig 5(b).
+	// alone, per node alive this epoch — Fig 3 column 3 and Fig 5(b).
 	EpochBytesPerNode float64
-	// Stage holds this epoch's mean stage durations.
+	// Stage holds this epoch's mean stage durations over alive nodes.
 	Stage StageTimes
 }
 
@@ -188,286 +195,6 @@ type message struct {
 	payload core.Payload
 	arrival float64 // virtual receive time
 	bytes   int
-}
-
-// Run executes the configured network and returns its metrics. The run is
-// deterministic in Config.Seed.
-func Run(cfg Config) (*Result, error) {
-	n := cfg.Graph.N()
-	if len(cfg.Train) != n || len(cfg.Test) != n {
-		return nil, fmt.Errorf("sim: partitions (%d train, %d test) do not match %d nodes",
-			len(cfg.Train), len(cfg.Test), n)
-	}
-	if cfg.Epochs <= 0 {
-		return nil, fmt.Errorf("sim: epochs must be positive")
-	}
-	if cfg.TestEvery <= 0 {
-		cfg.TestEvery = 1
-	}
-	if cfg.Net.BandwidthBps == 0 {
-		cfg.Net = DefaultNet()
-	}
-	if cfg.SGX && cfg.Enclave.EPCBytes == 0 {
-		cfg.Enclave = enclave.DefaultParams()
-	}
-
-	heapF := cfg.Heap.orDefault()
-	meas := attest.MeasureCode([]byte("rex-enclave-v1"))
-	nodes := make([]*core.Node, n)
-	encl := make([]*enclave.Enclave, n)
-	clocks := make([]float64, n)
-	inbox := make([][]message, n)
-	cumBytes := make([]float64, n) // in+out per node
-	res := &Result{}
-
-	for i := 0; i < n; i++ {
-		nodes[i] = core.NewNode(core.Config{
-			ID:            i,
-			Mode:          cfg.Mode,
-			Algo:          cfg.Algo,
-			StepsPerEpoch: cfg.StepsPerEpoch,
-			SharePoints:   cfg.SharePoints,
-			Seed:          cfg.Seed,
-			UniformMerge:  cfg.UniformMerge,
-			Byzantine:     cfg.Byzantine[i],
-		}, cfg.NewModel(i), cfg.Train[i], cfg.Test[i])
-		encl[i] = enclave.New(meas, cfg.Enclave, cfg.SGX)
-		encl[i].SetHeap(nodeHeap(nodes[i], heapF, 0))
-		if cfg.SGX {
-			// Mutual attestation with every neighbor before any data
-			// flows (§III-A); pairs overlap, so charge per neighbor.
-			d := cfg.Graph.Degree(i)
-			clocks[i] = cfg.AttestSetupSec * float64(d)
-			res.Attestations += d
-		}
-	}
-	res.Attestations /= 2 // counted from both endpoints
-
-	cp := cfg.Compute
-	secPerFlop := cp.SecPerFlop
-	if secPerFlop == 0 {
-		secPerFlop = 1e-9
-	}
-
-	series := make([]EpochStats, 0, cfg.Epochs)
-	var stageSum StageTimes
-	peakHeapPerNode := make([]int64, n)
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-
-	for e := 0; e < cfg.Epochs; e++ {
-		graph := cfg.Graph
-		if cfg.Topology != nil {
-			if g := cfg.Topology(e); g != nil && g.N() == n {
-				graph = g
-			}
-		}
-		// Crash the nodes scheduled to fail this epoch (oracle failure
-		// detection: neighbors immediately stop expecting their traffic).
-		for id, at := range cfg.FailAt {
-			if at == e && id >= 0 && id < n && alive[id] {
-				alive[id] = false
-				res.FailedNodes++
-			}
-		}
-		var epochStage StageTimes
-		var epochBytes float64
-		outgoing := make([][]message, n) // staged deliveries, applied after the epoch
-
-		for i := 0; i < n; i++ {
-			if !alive[i] {
-				inbox[i] = nil // a dead node consumes nothing
-				continue
-			}
-			node := nodes[i]
-			enc := encl[i]
-			deg := graph.Degree(i)
-
-			// --- gather inputs and the epoch start time ---
-			// Algorithm 2 line 13: a node is ready to train when it has
-			// received a message (possibly empty) from all its neighbors.
-			// The barrier applies to RMW too — only the payload placement
-			// differs (one random neighbor gets content, the rest get
-			// empty notifications).
-			var inputs []message
-			start := clocks[i]
-			if e > 0 {
-				inputs = inbox[i]
-				inbox[i] = nil
-				for _, m := range inputs {
-					if m.arrival > start {
-						start = m.arrival
-					}
-				}
-			}
-
-			// --- merge (Alg. 2 lines 15-16) ---
-			payloads := make([]core.Payload, len(inputs))
-			inBytes := 0
-			for k, m := range inputs {
-				payloads[k] = m.payload
-				inBytes += m.bytes
-			}
-			st := node.Merge(payloads, deg)
-			var mergeFlops float64
-			if cfg.Mode == core.ModelSharing {
-				for _, p := range payloads {
-					if p.Model != nil {
-						mergeFlops += float64(p.Model.ParamCount()) * cp.MergeFlopsPerParam
-					}
-				}
-			} else {
-				mergeFlops = float64(st.PointsAppended+st.PointsDuplicate) * cp.AppendFlopsPerPoint
-			}
-			mergeT := mergeFlops * secPerFlop * enc.MemFactor()
-			// Receiving under SGX: one ecall plus traffic decryption per message.
-			for _, m := range inputs {
-				mergeT += enc.ECall(m.bytes).Seconds() + enc.CryptoTime(m.bytes).Seconds()
-			}
-
-			// --- train (Alg. 2 line 17) ---
-			trainT := float64(node.Train()) * cp.TrainStepFlops * secPerFlop * enc.ComputeFactor()
-
-			// --- share (Alg. 2 lines 18-20) ---
-			// The payload goes to the scheme's targets (one random
-			// neighbor under RMW, everyone under D-PSGD); all remaining
-			// neighbors receive an empty notification that keeps the
-			// barrier advancing.
-			neighbors := graph.Neighbors(i)
-			payloadTo := gossip.Targets(cfg.Algo, graph, i, node.RNG())
-			isPayload := make(map[int]bool, len(payloadTo))
-			for _, t := range payloadTo {
-				isPayload[t] = true
-			}
-			var shareT float64
-			var outBytes int
-			if len(neighbors) > 0 {
-				payload := node.Share(deg, cfg.Mode == core.ModelSharing)
-				empty := core.Payload{From: i, Degree: deg}
-				wire := core.PayloadWireSize(payload)
-				emptyWire := core.PayloadWireSize(empty)
-				for _, t := range neighbors {
-					w := emptyWire
-					if isPayload[t] {
-						w = wire
-					}
-					shareT += float64(w) * cp.SerializeSecPerByte * enc.MemFactor()
-					shareT += enc.CryptoTime(w).Seconds()
-					shareT += enc.OCall(w).Seconds()
-					shareT += enc.NativeAllocTime(w).Seconds()
-					outBytes += w
-				}
-				sendDone := start + mergeT + trainT + shareT
-				if cfg.ShareParallel && cfg.Mode == core.DataSharing {
-					// Sampling the pre-train store and shipping it can
-					// overlap training (§III-D): dispatch right after the
-					// merge; the share cost itself rides the wire path.
-					sendDone = start + mergeT + shareT
-				}
-				for _, t := range neighbors {
-					if !alive[t] {
-						continue // oracle: no traffic to crashed peers
-					}
-					pl, w := empty, emptyWire
-					if isPayload[t] {
-						pl, w = payload, wire
-					}
-					outgoing[t] = append(outgoing[t], message{
-						payload: pl,
-						arrival: sendDone + cfg.Net.LatencySec + float64(w)/cfg.Net.BandwidthBps,
-						bytes:   w,
-					})
-				}
-			}
-
-			// --- test (Alg. 2 line 21) ---
-			var testT float64
-			if (e+1)%cfg.TestEvery == 0 || e == cfg.Epochs-1 {
-				testT = float64(len(node.Test)) * cp.TestFlopsPerExample * secPerFlop * enc.ComputeFactor()
-			}
-
-			elapsed := mergeT + trainT + shareT + testT
-			if cfg.ShareParallel && cfg.Mode == core.DataSharing && shareT < trainT {
-				elapsed = mergeT + trainT + testT // share hidden under training
-			}
-			clocks[i] = start + elapsed
-			cumBytes[i] += float64(inBytes + outBytes)
-			epochBytes += float64(inBytes + outBytes)
-			epochStage = epochStage.add(StageTimes{mergeT, trainT, shareT, testT})
-
-			// Heap: persistent state plus this epoch's transient buffers
-			// (received copies during merge + outbound serialization).
-			heap := nodeHeap(node, heapF, inBytes+outBytes)
-			enc.SetHeap(heap)
-			if heap > peakHeapPerNode[i] {
-				peakHeapPerNode[i] = heap
-			}
-		}
-
-		// Deliver this epoch's messages.
-		for t := range outgoing {
-			inbox[t] = append(inbox[t], outgoing[t]...)
-		}
-
-		// --- record epoch stats ---
-		stat := EpochStats{Epoch: e, MeanRMSE: math.NaN()}
-		if (e+1)%cfg.TestEvery == 0 || e == cfg.Epochs-1 {
-			var sum float64
-			cnt := 0
-			for ni, nd := range nodes {
-				if len(nd.Test) == 0 || !alive[ni] {
-					continue
-				}
-				sum += nd.TestRMSE()
-				cnt++
-			}
-			if cnt > 0 {
-				stat.MeanRMSE = sum / float64(cnt)
-				res.FinalRMSE = stat.MeanRMSE
-			}
-		}
-		var tm, tmax, bsum float64
-		for i := 0; i < n; i++ {
-			tm += clocks[i]
-			if clocks[i] > tmax {
-				tmax = clocks[i]
-			}
-			bsum += cumBytes[i]
-		}
-		stat.TimeMean = tm / float64(n)
-		stat.TimeMax = tmax
-		stat.BytesPerNode = bsum / float64(n)
-		stat.EpochBytesPerNode = epochBytes / float64(n)
-		stat.Stage = epochStage.scale(1 / float64(n))
-		stageSum = stageSum.add(stat.Stage)
-		series = append(series, stat)
-	}
-
-	res.Series = series
-	last := series[len(series)-1]
-	res.TotalTimeMean = last.TimeMean
-	res.TotalTimeMax = last.TimeMax
-	res.BytesPerNode = last.BytesPerNode
-	res.Stage = stageSum.scale(1 / float64(cfg.Epochs))
-	var heapSum float64
-	for i := 0; i < n; i++ {
-		if peakHeapPerNode[i] > res.PeakHeapBytes {
-			res.PeakHeapBytes = peakHeapPerNode[i]
-		}
-		heapSum += float64(peakHeapPerNode[i])
-	}
-	res.MeanHeapBytes = heapSum / float64(n)
-	if cfg.KeepState {
-		res.Models = make([]model.Model, n)
-		res.Stores = make([][]dataset.Rating, n)
-		for i, nd := range nodes {
-			res.Models[i] = nd.Model
-			res.Stores[i] = nd.Store.Snapshot()
-		}
-	}
-	return res, nil
 }
 
 // nodeHeap computes the simulated trusted-heap footprint of a node given

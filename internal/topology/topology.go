@@ -158,14 +158,29 @@ func SmallWorld(n, k int, pFar float64, rng *rand.Rand) *Graph {
 		}
 	}
 	// Far-fetched connections: each node gains a shortcut to a uniformly
-	// random distant node with probability pFar.
+	// random distant node with probability pFar. Rejection sampling is
+	// tried first; on dense graphs (few eligible targets) it falls back to
+	// a scan from a random offset so the shortcut is added whenever any
+	// eligible target exists, instead of being silently dropped.
 	for i := 0; i < n; i++ {
 		if rng.Float64() < pFar {
+			added := false
 			for tries := 0; tries < 16; tries++ {
 				j := rng.Intn(n)
 				if j != i && !g.HasEdge(i, j) {
 					g.AddEdge(i, j)
+					added = true
 					break
+				}
+			}
+			if !added {
+				start := rng.Intn(n)
+				for d := 0; d < n; d++ {
+					j := (start + d) % n
+					if j != i && !g.HasEdge(i, j) {
+						g.AddEdge(i, j)
+						break
+					}
 				}
 			}
 		}

@@ -239,3 +239,32 @@ func TestGraphString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestSmallWorldShortcutAlwaysAddedWhenEligible(t *testing.T) {
+	// n=8, k=6 gives a ring lattice where each node's only non-neighbor is
+	// its antipode. Rejection sampling alone misses it with probability
+	// (7/8)^16 per node, which used to drop the far-fetched edge silently;
+	// the deterministic fallback must add it whenever one exists. With
+	// pFar=1 every node requests a shortcut, so across many seeds the
+	// result must always be the complete graph K8 (28 edges).
+	for seed := int64(0); seed < 50; seed++ {
+		g := SmallWorld(8, 6, 1.0, rand.New(rand.NewSource(seed)))
+		if got, want := g.NumEdges(), 8*7/2; got != want {
+			t.Fatalf("seed %d: got %d edges, want complete graph with %d", seed, got, want)
+		}
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a := SmallWorld(64, 6, 0.5, rand.New(rand.NewSource(7)))
+	b := SmallWorld(64, 6, 0.5, rand.New(rand.NewSource(7)))
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}

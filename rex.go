@@ -14,9 +14,11 @@
 //     (NewDNN), both implementing the Model interface;
 //   - topologies: small-world, Erdős–Rényi and fully connected graphs;
 //   - execution: a deterministic virtual-time simulator (Simulate) that
-//     reproduces the paper's experiments, and a live concurrent runtime
-//     (see internal/runtime via the rexnode command) with real
-//     attestation and AES-GCM channels.
+//     reproduces the paper's experiments — node steps within an epoch fan
+//     out across a worker pool (SimConfig.Workers, default GOMAXPROCS)
+//     with results bit-identical to a sequential run for any fixed seed —
+//     and a live concurrent runtime (see internal/runtime via the rexnode
+//     command) with real attestation and AES-GCM channels.
 //
 // A minimal comparison of REX against classical model sharing:
 //
@@ -175,7 +177,10 @@ func DNNCompute(mlpParams, embDim, batch int) ComputeParams {
 	return sim.DNNCompute(mlpParams, embDim, batch)
 }
 
-// Simulate runs a REX network under the virtual-time cost model.
+// Simulate runs a REX network under the virtual-time cost model. Epochs
+// execute on a worker pool sized by cfg.Workers (0 = GOMAXPROCS, 1 =
+// sequential); the result is deterministic in cfg.Seed and independent of
+// the worker count.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
 // EnclaveParams are the SGX cost-model constants (EPC size, transition
