@@ -17,6 +17,7 @@ import (
 	"rex/internal/mf"
 	"rex/internal/model"
 	"rex/internal/movielens"
+	"rex/internal/nn"
 	"rex/internal/sim"
 	"rex/internal/topology"
 )
@@ -167,9 +168,11 @@ func BenchmarkAblationStatelessSampling(b *testing.B) {
 	}
 }
 
-// --- microbenchmarks of the hot paths ---
+// --- microbenchmarks of the hot paths (the README kernel table) ---
 
-func BenchmarkMFTrainStep(b *testing.B) {
+// BenchmarkMFTrain measures one SGD step of the MF hot path (b.N steps of
+// uniform sampling + the fused vec kernel).
+func BenchmarkMFTrain(b *testing.B) {
 	spec := movielens.Latest().Scaled(0.05)
 	ds := movielens.Generate(spec)
 	m := mf.New(mf.DefaultConfig())
@@ -192,15 +195,81 @@ func BenchmarkMFMerge(b *testing.B) {
 	}
 }
 
+// BenchmarkMFMarshal measures the steady-state share-path serialization: a
+// node re-serializes its model every epoch, so the buffer is reused via
+// MarshalAppend (zero allocations per op). BenchmarkMFMarshalAlloc keeps
+// the old fresh-allocation measurement for comparison.
 func BenchmarkMFMarshal(b *testing.B) {
 	spec := movielens.Latest().Scaled(0.05)
 	ds := movielens.Generate(spec)
 	m := mf.New(mf.DefaultConfig())
 	m.Train(ds.Ratings, 5000, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = m.MarshalAppend(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMFMarshalAlloc(b *testing.B) {
+	spec := movielens.Latest().Scaled(0.05)
+	ds := movielens.Generate(spec)
+	m := mf.New(mf.DefaultConfig())
+	m.Train(ds.Ratings, 5000, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Marshal(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNForward measures the DNN eval path: one batched forward pass
+// over 256 examples per op via PredictBatch (the test-stage workload).
+func BenchmarkNNForward(b *testing.B) {
+	const users, items = 610, 9000
+	cfg := nn.DefaultConfig(users, items)
+	net := nn.NewNet(cfg)
+	rng := rand.New(rand.NewSource(2))
+	const batch = 256
+	us := make([]uint32, batch)
+	is := make([]uint32, batch)
+	out := make([]float32, batch)
+	for i := range us {
+		us[i] = uint32(rng.Intn(users))
+		is[i] = uint32(rng.Intn(items))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.PredictBatch(us, is, out)
+	}
+}
+
+// BenchmarkNNForwardSingle is the pre-batching shape of the same workload
+// — 256 one-example forward passes — kept as the comparison point for the
+// batched path above.
+func BenchmarkNNForwardSingle(b *testing.B) {
+	const users, items = 610, 9000
+	cfg := nn.DefaultConfig(users, items)
+	net := nn.NewNet(cfg)
+	rng := rand.New(rand.NewSource(2))
+	const batch = 256
+	us := make([]uint32, batch)
+	is := make([]uint32, batch)
+	for i := range us {
+		us[i] = uint32(rng.Intn(users))
+		is[i] = uint32(rng.Intn(items))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			net.Predict(us[j], is[j])
 		}
 	}
 }

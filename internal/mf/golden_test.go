@@ -1,0 +1,73 @@
+package mf
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"rex/internal/dataset"
+	"rex/internal/model"
+)
+
+// goldenRatings builds a fixed synthetic workload, self-contained so the
+// golden hashes below never depend on the movielens generator.
+func goldenRatings(seed int64, n int) []dataset.Rating {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dataset.Rating, n)
+	for i := range out {
+		out[i] = dataset.Rating{
+			User:  uint32(rng.Intn(200)),
+			Item:  uint32(rng.Intn(500)),
+			Value: float32(rng.Intn(9)+1) / 2, // 0.5 .. 4.5 half-stars
+		}
+	}
+	return out
+}
+
+func modelDigest(t *testing.T, m *Model) string {
+	t.Helper()
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenTrajectory pins the exact float32 training/merge trajectory of
+// the scalar pre-refactor implementation: Train must consume the rng in the
+// same draw order and produce bit-identical parameters, MergeWeighted must
+// reproduce the same weighted union, and Marshal the same canonical bytes.
+// Any change to these hashes is a results change and must be owned loudly.
+func TestGoldenTrajectory(t *testing.T) {
+	data := goldenRatings(42, 4000)
+	dataB := goldenRatings(43, 4000)
+
+	a := New(DefaultConfig())
+	a.Train(data, 20_000, rand.New(rand.NewSource(1)))
+	if got, want := modelDigest(t, a), goldenAfterTrain; got != want {
+		t.Errorf("train trajectory diverged:\n got %s\nwant %s", got, want)
+	}
+
+	b := New(DefaultConfig())
+	b.Train(dataB, 20_000, rand.New(rand.NewSource(2)))
+	a.MergeWeighted(0.25, []model.Weighted{{M: b, W: 0.75}})
+	if got, want := modelDigest(t, a), goldenAfterMerge; got != want {
+		t.Errorf("merge result diverged:\n got %s\nwant %s", got, want)
+	}
+
+	// Train on top of the merged state: the full epoch cycle stays pinned.
+	a.Train(data, 5_000, rand.New(rand.NewSource(3)))
+	if got, want := modelDigest(t, a), goldenAfterRetrain; got != want {
+		t.Errorf("post-merge train trajectory diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Golden SHA-256 digests of Marshal output, recorded from the scalar
+// implementation at the commit introducing internal/vec.
+const (
+	goldenAfterTrain   = "e4f7c341d58361600ac897e9c2c18452041850bc8d24b8040bc502d11b1acb12"
+	goldenAfterMerge   = "29fc8945cc4b41c7c27ad711793a7e5971e7bcb29d30115ffd8ac24507419228"
+	goldenAfterRetrain = "d0497bdc4f47e4f71fc779b611db1629b0fa09ad940070d9e279b50e9e70f6a7"
+)

@@ -21,6 +21,7 @@ import (
 
 	"rex/internal/dataset"
 	"rex/internal/model"
+	"rex/internal/vec"
 )
 
 // Config holds MF hyperparameters.
@@ -144,10 +145,20 @@ func New(cfg Config) *Model {
 // Config returns the model's hyperparameters.
 func (m *Model) Config() Config { return m.cfg }
 
+// trainBatch is how many rating indices Train draws per kernel sweep:
+// large enough to amortize the sampling loop, small enough that the index
+// buffer stays in L1.
+const trainBatch = 512
+
 // Train runs `steps` plain SGD steps, each on one rating drawn uniformly
 // from data. Fixing steps (rather than sweeping all data) keeps epoch time
 // constant as the raw-data store grows, exactly the paper's device in
-// §III-E.
+// §III-E. Steps are processed in batches: each batch's rating indices are
+// sampled up front (the rng draw order is identical to the one-at-a-time
+// loop) and then applied through the fused vec kernels; because every
+// kernel is bit-identical to its scalar loop and updates stay strictly
+// sequential, the trajectory matches the pre-batching implementation bit
+// for bit (pinned by TestGoldenTrajectory).
 func (m *Model) Train(data []dataset.Rating, steps int, rng *rand.Rand) {
 	if len(data) == 0 || steps <= 0 {
 		return
@@ -156,31 +167,54 @@ func (m *Model) Train(data []dataset.Rating, steps int, rng *rand.Rand) {
 	lr := float32(m.cfg.LearningRate)
 	reg := float32(m.cfg.Reg)
 	mean := float32(m.cfg.GlobalMean)
-	for s := 0; s < steps; s++ {
-		r := data[rng.Intn(len(data))]
-		u, it := int(r.User), int(r.Item)
-		x := m.users.vec(u)
-		y := m.items.vec(it)
-		var dot float32
-		for d := 0; d < k; d++ {
-			dot += x[d] * y[d]
+	users, items := m.users, m.items
+	var idx [trainBatch]int
+	for remaining := steps; remaining > 0; {
+		bsz := min(trainBatch, remaining)
+		batch := idx[:bsz]
+		drawIndices(batch, rng, len(data))
+		for _, ix := range batch {
+			r := data[ix]
+			u, it := int(r.User), int(r.Item)
+			// Inlined present-row fast paths: a helper carrying the
+			// materialize fallback exceeds the inlining budget, and the
+			// call overhead is visible at this loop's ~25ns/step scale.
+			var x, y []float32
+			if u < len(users.present) && users.present[u] {
+				x = users.f[u*k : (u+1)*k]
+			} else {
+				x = users.vec(u)
+			}
+			if it < len(items.present) && items.present[it] {
+				y = items.f[it*k : (it+1)*k]
+			} else {
+				y = items.vec(it)
+			}
+			users.b[u], items.b[it] = vec.FusedSGDStep(
+				x, y, r.Value, mean, users.b[u], items.b[it], lr, reg)
 		}
-		pred := mean + m.users.b[u] + m.items.b[it] + dot
-		e := r.Value - pred
-		m.users.b[u] += lr * (e - reg*m.users.b[u])
-		m.items.b[it] += lr * (e - reg*m.items.b[it])
-		for d := 0; d < k; d++ {
-			xd, yd := x[d], y[d]
-			x[d] += lr * (e*yd - reg*xd)
-			y[d] += lr * (e*xd - reg*yd)
-		}
+		remaining -= bsz
 	}
 }
 
 // Predict returns the estimated rating, falling back to bias-only or the
 // global mean for unseen entities.
 func (m *Model) Predict(user, item uint32) float32 {
-	u, it := int(user), int(item)
+	return m.predictOne(int(user), int(item))
+}
+
+// PredictBatch implements model.BatchPredictor: out[j] receives exactly
+// what Predict(users[j], items[j]) would return.
+func (m *Model) PredictBatch(users, items []uint32, out []float32) {
+	if len(users) != len(items) || len(users) != len(out) {
+		panic("mf: predict batch length mismatch")
+	}
+	for j := range out {
+		out[j] = m.predictOne(int(users[j]), int(items[j]))
+	}
+}
+
+func (m *Model) predictOne(u, it int) float32 {
 	p := float32(m.cfg.GlobalMean)
 	hasU := m.users.has(u)
 	hasI := m.items.has(it)
@@ -191,11 +225,8 @@ func (m *Model) Predict(user, item uint32) float32 {
 		p += m.items.b[it]
 	}
 	if hasU && hasI {
-		x := m.users.f[u*m.cfg.K:]
-		y := m.items.f[it*m.cfg.K:]
-		for d := 0; d < m.cfg.K; d++ {
-			p += x[d] * y[d]
-		}
+		k := m.cfg.K
+		p += vec.Dot(m.users.f[u*k:(u+1)*k], m.items.f[it*k:(it+1)*k])
 	}
 	return p
 }
@@ -228,45 +259,59 @@ func (m *Model) Clone() model.Model {
 // (§III-C2: "when a node has no embedding for a given user or item, we
 // consider only those of its neighbors").
 func (m *Model) MergeWeighted(selfW float64, others []model.Weighted) {
-	srcs := make([]*Model, 0, len(others))
+	userTabs := make([]*table, 0, len(others))
+	itemTabs := make([]*table, 0, len(others))
 	ws := make([]float32, 0, len(others))
 	for _, o := range others {
 		om, ok := o.M.(*Model)
 		if !ok || om.cfg.K != m.cfg.K {
 			continue // incompatible model; cannot average across families
 		}
-		srcs = append(srcs, om)
+		userTabs = append(userTabs, om.users)
+		itemTabs = append(itemTabs, om.items)
 		ws = append(ws, float32(o.W))
 	}
-	if len(srcs) == 0 {
+	if len(ws) == 0 {
 		return
 	}
-	mergeTables(m.users, float32(selfW), srcs, ws, func(s *Model) *table { return s.users })
-	mergeTables(m.items, float32(selfW), srcs, ws, func(s *Model) *table { return s.items })
+	mergeTables(m.users, float32(selfW), userTabs, ws)
+	mergeTables(m.items, float32(selfW), itemTabs, ws)
 }
 
-func mergeTables(dst *table, selfW float32, srcs []*Model, ws []float32, side func(*Model) *table) {
+// mergeTables folds the source tables into dst in a single pass over the
+// union id range: each id's source-presence set is computed once (as a
+// bitmask when fan-in allows) and then replayed through the vec kernels,
+// instead of re-walking the sources per phase. The accumulation order —
+// dst scaled first, then each source added in peer order — matches the
+// scalar implementation exactly, so merges stay bit-identical.
+func mergeTables(dst *table, selfW float32, srcs []*table, ws []float32) {
 	// Size dst to the union of live id ranges (not capacities) exactly.
 	maxLen := dst.maxID
 	for _, s := range srcs {
-		if l := side(s).maxID; l > maxLen {
-			maxLen = l
+		if s.maxID > maxLen {
+			maxLen = s.maxID
 		}
 	}
-	if maxLen > 0 {
-		dst.growCap(maxLen-1, false)
+	if maxLen == 0 {
+		return
 	}
+	dst.growCap(maxLen-1, false)
 	k := dst.k
+	useMask := len(srcs) <= 64
 	for id := 0; id < maxLen; id++ {
 		var wsum float32
 		if dst.present[id] {
 			wsum = selfW
 		}
+		var mask uint64
 		anyAlien := false
 		for si, s := range srcs {
-			if side(s).has(id) {
+			if s.has(id) {
 				wsum += ws[si]
 				anyAlien = true
+				if useMask {
+					mask |= 1 << uint(si)
+				}
 			}
 		}
 		if !anyAlien || wsum == 0 {
@@ -276,14 +321,10 @@ func mergeTables(dst *table, selfW float32, srcs []*Model, ws []float32, side fu
 		var bias float32
 		if dst.present[id] {
 			w := selfW / wsum
-			for d := range drow {
-				drow[d] *= w
-			}
+			vec.Scale(w, drow)
 			bias = dst.b[id] * w
 		} else {
-			for d := range drow {
-				drow[d] = 0
-			}
+			vec.Zero(drow)
 			dst.present[id] = true
 			dst.count++
 			if id+1 > dst.maxID {
@@ -291,16 +332,16 @@ func mergeTables(dst *table, selfW float32, srcs []*Model, ws []float32, side fu
 			}
 		}
 		for si, s := range srcs {
-			st := side(s)
-			if !st.has(id) {
+			if useMask {
+				if mask&(1<<uint(si)) == 0 {
+					continue
+				}
+			} else if !s.has(id) {
 				continue
 			}
 			w := ws[si] / wsum
-			srow := st.f[id*k : (id+1)*k]
-			for d := range drow {
-				drow[d] += w * srow[d]
-			}
-			bias += w * st.b[id]
+			vec.AddScaled(drow, s.f[id*k:(id+1)*k], w)
+			bias += w * s.b[id]
 		}
 		dst.b[id] = bias
 	}
@@ -311,38 +352,60 @@ const magic = uint32(0x5245584d) // "REXM"
 // Marshal serializes the model: magic, K, user count, item count, then
 // (id, bias, k floats) records for present users then items, in id order —
 // deterministic, so identical models serialize identically.
-func (m *Model) Marshal() ([]byte, error) {
-	rec := 4 + 4 + 4*m.cfg.K
-	buf := make([]byte, 16, 16+rec*(m.users.count+m.items.count))
+func (m *Model) Marshal() ([]byte, error) { return m.MarshalAppend(nil) }
+
+// MarshalAppend implements model.AppendMarshaler: it appends the canonical
+// serialization to dst and returns the extended slice, growing dst at most
+// once. With a reused (or correctly pre-sized) buffer the model's bytes
+// are written in place — no append staging, no scratch copies, no per-call
+// allocation — which is what a model-sharing node pays per neighbor per
+// epoch.
+func (m *Model) MarshalAppend(dst []byte) ([]byte, error) {
+	need := m.WireSize()
+	start := len(dst)
+	if cap(dst)-start < need {
+		grown := make([]byte, start+need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:start+need]
+	}
+	buf := dst[start:]
 	binary.LittleEndian.PutUint32(buf, magic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(m.cfg.K))
 	binary.LittleEndian.PutUint32(buf[8:], uint32(m.users.count))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(m.items.count))
-	var scratch [4]byte
-	put32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(scratch[:], v)
-		buf = append(buf, scratch[:]...)
-	}
-	emit := func(t *table) {
-		for id := 0; id < len(t.present); id++ {
-			if !t.present[id] {
-				continue
-			}
-			put32(uint32(id))
-			put32(math.Float32bits(t.b[id]))
-			row := t.f[id*t.k : (id+1)*t.k]
-			for _, x := range row {
-				put32(math.Float32bits(x))
-			}
+	off := emitTable(buf, 16, m.users)
+	emitTable(buf, off, m.items)
+	return dst, nil
+}
+
+// emitTable writes a table's present records at buf[off:] and returns the
+// offset past the last one. A top-level function (not a closure) so the
+// write cursor stays in a register on the serialization hot path.
+func emitTable(buf []byte, off int, t *table) int {
+	k := t.k
+	for id := 0; id < t.maxID; id++ {
+		if !t.present[id] {
+			continue
 		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(id))
+		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(t.b[id]))
+		o := off + 8
+		for _, x := range t.f[id*k : (id+1)*k] {
+			binary.LittleEndian.PutUint32(buf[o:], math.Float32bits(x))
+			o += 4
+		}
+		off = o
 	}
-	emit(m.users)
-	emit(m.items)
-	return buf, nil
+	return off
 }
 
 // Unmarshal replaces the model's parameters with the serialized ones. The
-// serialized K must match the receiver's configuration.
+// serialized K must match the receiver's configuration, and each section's
+// record ids must be strictly increasing — Marshal's canonical order — so
+// duplicated or reordered records are rejected as corruption. On error the
+// receiver is left unchanged.
 func (m *Model) Unmarshal(b []byte) error {
 	if len(b) < 16 {
 		return fmt.Errorf("mf: buffer too short (%d bytes)", len(b))
@@ -364,15 +427,34 @@ func (m *Model) Unmarshal(b []byte) error {
 	fresh := New(m.cfg)
 	off := 16
 	read := func(t *table, n int) error {
+		if n == 0 {
+			return nil
+		}
+		// Marshal emits records in strictly increasing id order, so the
+		// section's last record carries its highest id: validate it, then
+		// allocate the table exactly once for the whole bulk copy.
+		last := int(binary.LittleEndian.Uint32(b[off+(n-1)*rec:]))
+		if last > 1<<28 {
+			return fmt.Errorf("mf: implausible entity id %d", last)
+		}
+		t.growCap(last, false)
+		prev := -1
 		for i := 0; i < n; i++ {
 			id := int(binary.LittleEndian.Uint32(b[off:]))
-			if id > 1<<28 {
-				return fmt.Errorf("mf: implausible entity id %d", id)
+			if id <= prev || id > last {
+				return fmt.Errorf("mf: record %d id %d violates strict id order (previous %d, section max %d)", i, id, prev, last)
 			}
-			row := t.vec(id) // materializes, marks present
+			prev = id
+			t.present[id] = true
+			t.count++
+			if id+1 > t.maxID {
+				t.maxID = id + 1
+			}
 			t.b[id] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+4:]))
-			for d := 0; d < k; d++ {
-				row[d] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+8+4*d:]))
+			row := t.f[id*k : (id+1)*k]
+			src := b[off+8 : off+rec]
+			for d := range row {
+				row[d] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*d:]))
 			}
 			off += rec
 		}

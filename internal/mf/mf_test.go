@@ -125,6 +125,57 @@ func TestUnmarshalErrors(t *testing.T) {
 	}
 }
 
+// TestUnmarshalRejectsCorruptedRecords pins the id-order validation:
+// Marshal emits each section's records with strictly increasing ids, so a
+// duplicated or reordered record is corruption and must be rejected (the
+// old total-length check alone accepted such buffers silently).
+func TestUnmarshalRejectsCorruptedRecords(t *testing.T) {
+	m := New(DefaultConfig())
+	data := []dataset.Rating{
+		{User: 1, Item: 10, Value: 4},
+		{User: 2, Item: 11, Value: 2},
+		{User: 3, Item: 12, Value: 5},
+	}
+	m.Train(data, 200, rand.New(rand.NewSource(20)))
+	good, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := 4 + 4 + 4*m.Config().K
+	if err := New(DefaultConfig()).Unmarshal(good); err != nil {
+		t.Fatalf("canonical buffer rejected: %v", err)
+	}
+
+	// Duplicate: overwrite the second user record with a copy of the first.
+	dup := append([]byte(nil), good...)
+	copy(dup[16+rec:16+2*rec], dup[16:16+rec])
+	if err := New(DefaultConfig()).Unmarshal(dup); err == nil {
+		t.Fatal("duplicated record accepted")
+	}
+
+	// Reordered: swap the first two user records (ids decrease).
+	swapped := append([]byte(nil), good...)
+	tmp := append([]byte(nil), swapped[16:16+rec]...)
+	copy(swapped[16:16+rec], swapped[16+rec:16+2*rec])
+	copy(swapped[16+rec:16+2*rec], tmp)
+	if err := New(DefaultConfig()).Unmarshal(swapped); err == nil {
+		t.Fatal("reordered records accepted")
+	}
+
+	// A rejected buffer must leave the receiver untouched.
+	m2 := New(DefaultConfig())
+	if err := m2.Unmarshal(good); err != nil {
+		t.Fatal(err)
+	}
+	before := m2.Predict(1, 10)
+	if err := m2.Unmarshal(dup); err == nil {
+		t.Fatal("duplicated record accepted on a populated model")
+	}
+	if got := m2.Predict(1, 10); got != before {
+		t.Fatalf("failed Unmarshal mutated the model: %v vs %v", got, before)
+	}
+}
+
 func TestMarshalRoundtripProperty(t *testing.T) {
 	f := func(seed int64, steps uint8) bool {
 		cfg := DefaultConfig()

@@ -1,0 +1,46 @@
+package mf
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// drawIndices fills batch with exactly the values rng.Intn(n) would
+// produce, consuming the rng stream draw-for-draw — same rejection loop,
+// same underlying Int31 calls — so training trajectories are unchanged.
+// What it removes is math/rand's per-draw 32-bit division: the divisor is
+// loop-invariant across a batch, so the modulo is computed with a
+// precomputed Lemire fastmod (two 64-bit multiplies), which is worth
+// several ns per SGD step. math/rand (v1) is frozen under the Go 1
+// compatibility promise, so mirroring Int31n's draw structure is stable.
+func drawIndices(batch []int, rng *rand.Rand, n int) {
+	if n > math.MaxInt32 {
+		// rng.Intn switches to its Int63n path here; no fastmod, but a
+		// dataset this size (>2^31 ratings) never fits a node anyway.
+		for j := range batch {
+			batch[j] = rng.Intn(n)
+		}
+		return
+	}
+	if n&(n-1) == 0 {
+		// Power of two (including n==1): Int31n masks, no division.
+		m := int32(n - 1)
+		for j := range batch {
+			batch[j] = int(rng.Int31() & m)
+		}
+		return
+	}
+	maxV := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	magic := ^uint64(0)/uint64(uint32(n)) + 1
+	for j := range batch {
+		v := rng.Int31()
+		for v > maxV {
+			v = rng.Int31()
+		}
+		// Lemire & Kaser fastmod: exact v % n for 32-bit operands.
+		lo := magic * uint64(uint32(v))
+		r, _ := bits.Mul64(lo, uint64(uint32(n)))
+		batch[j] = int(r)
+	}
+}

@@ -1,0 +1,27 @@
+package mf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDrawIndicesMatchesIntn pins drawIndices' contract: identical index
+// values AND identical rng stream consumption to a plain rng.Intn loop,
+// across power-of-two, odd, small and large divisors.
+func TestDrawIndicesMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 101, 1024, 99991, 1 << 20, (1 << 28) + 3} {
+		a := rand.New(rand.NewSource(11))
+		b := rand.New(rand.NewSource(11))
+		got := make([]int, 4096)
+		drawIndices(got, a, n)
+		for j, g := range got {
+			if want := b.Intn(n); g != want {
+				t.Fatalf("n=%d draw %d: got %d want %d", n, j, g, want)
+			}
+		}
+		// Streams must stay aligned after the batch too.
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: rng stream diverged after batch", n)
+		}
+	}
+}

@@ -55,26 +55,72 @@ type Weighted struct {
 	W float64
 }
 
+// BatchPredictor is an optional Model extension: PredictBatch fills out[j]
+// with exactly what Predict(users[j], items[j]) would return, amortizing
+// per-call overhead (and, for the DNN, running one forward pass for the
+// whole batch instead of one per example). The three slices must have
+// equal length. RMSE uses it when available.
+type BatchPredictor interface {
+	PredictBatch(users, items []uint32, out []float32)
+}
+
+// AppendMarshaler is an optional Model extension: MarshalAppend appends
+// the model's canonical serialization (identical bytes to Marshal) to dst
+// and returns the extended slice, letting callers reuse buffers across
+// epochs instead of allocating per share.
+type AppendMarshaler interface {
+	MarshalAppend(dst []byte) ([]byte, error)
+}
+
+// rmseBatch is the chunk size of the batched RMSE path: big enough to
+// amortize batch dispatch, small enough to keep the id/pred scratch on the
+// stack.
+const rmseBatch = 512
+
 // RMSE computes the root mean squared error of the model over the data,
 // clamping predictions into the valid star range — the paper's test metric
-// (§IV-A4).
+// (§IV-A4). Models implementing BatchPredictor are evaluated in chunks of
+// rmseBatch; the result is identical to the per-example path because
+// predictions match Predict exactly and the error accumulation order is
+// unchanged.
 func RMSE(m Model, data []dataset.Rating) float64 {
 	if len(data) == 0 {
 		return 0
 	}
 	var se float64
-	for _, r := range data {
-		p := float64(m.Predict(r.User, r.Item))
-		if p < 0.5 {
-			p = 0.5
+	if bp, ok := m.(BatchPredictor); ok {
+		var users, items [rmseBatch]uint32
+		var preds [rmseBatch]float32
+		for start := 0; start < len(data); start += rmseBatch {
+			chunk := data[start:min(start+rmseBatch, len(data))]
+			for i, r := range chunk {
+				users[i], items[i] = r.User, r.Item
+			}
+			bp.PredictBatch(users[:len(chunk)], items[:len(chunk)], preds[:len(chunk)])
+			for i, r := range chunk {
+				se += clampedSqErr(preds[i], r.Value)
+			}
 		}
-		if p > 5.0 {
-			p = 5.0
+	} else {
+		for _, r := range data {
+			se += clampedSqErr(m.Predict(r.User, r.Item), r.Value)
 		}
-		d := p - float64(r.Value)
-		se += d * d
 	}
 	return math.Sqrt(se / float64(len(data)))
+}
+
+// clampedSqErr clamps a prediction into the valid star range [0.5, 5.0]
+// and returns its squared error against the observed rating.
+func clampedSqErr(pred, want float32) float64 {
+	p := float64(pred)
+	if p < 0.5 {
+		p = 0.5
+	}
+	if p > 5.0 {
+		p = 5.0
+	}
+	d := p - float64(want)
+	return d * d
 }
 
 // MarshaledSize returns the wire size of the model's serialization,

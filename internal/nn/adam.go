@@ -1,6 +1,10 @@
 package nn
 
-import "math"
+import (
+	"math"
+
+	"rex/internal/vec"
+)
 
 // Adam implements the Adam optimizer (Kingma & Ba, the paper's §IV-A3b
 // choice) with decoupled weight decay. Paper hyperparameters: learning
@@ -41,19 +45,10 @@ func (a *Adam) Step(params []*Param) {
 			st = &adamState{m: make([]float32, len(p.W)), v: make([]float32, len(p.W))}
 			a.state[p] = st
 		}
-		b1 := float32(a.Beta1)
-		b2 := float32(a.Beta2)
-		for i, g := range p.G {
-			// Decoupled weight decay, AdamW-style.
-			if a.WeightDecay != 0 {
-				p.W[i] -= float32(a.LR * a.WeightDecay * float64(p.W[i]))
-			}
-			st.m[i] = b1*st.m[i] + (1-b1)*g
-			st.v[i] = b2*st.v[i] + (1-b2)*g*g
-			mhat := float64(st.m[i]) / bc1
-			vhat := float64(st.v[i]) / bc2
-			p.W[i] -= float32(a.LR * mhat / (math.Sqrt(vhat) + a.Eps))
-		}
+		// Decoupled weight decay, AdamW-style, fused with the moment
+		// updates in the shared kernel.
+		vec.AdamStep(p.W, p.G, st.m, st.v, a.LR, a.WeightDecay,
+			float32(a.Beta1), float32(a.Beta2), bc1, bc2, a.Eps)
 	}
 }
 

@@ -1,0 +1,38 @@
+package nn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rex/internal/dataset"
+	"rex/internal/model"
+	"rex/internal/model/modeltest"
+	"rex/internal/nn"
+)
+
+// TestConformance runs the shared model.Model invariant suite against the
+// DNN recommender with a small architecture (the invariants are shape-
+// independent; small keeps the suite fast).
+func TestConformance(t *testing.T) {
+	const users, items = 30, 80
+	rng := rand.New(rand.NewSource(29))
+	data := make([]dataset.Rating, 400)
+	for i := range data {
+		data[i] = dataset.Rating{
+			User:  uint32(rng.Intn(users)),
+			Item:  uint32(rng.Intn(items)),
+			Value: float32(rng.Intn(9)+1) / 2,
+		}
+	}
+	cfg := nn.DefaultConfig(users, items)
+	cfg.EmbDim = 6
+	cfg.Hidden = []int{12, 6}
+	cfg.BatchSize = 16
+	modeltest.Run(t, modeltest.Config{
+		New:        func() model.Model { return nn.NewNet(cfg) },
+		Data:       data,
+		OOVUser:    users, // first id past the dense vocabulary
+		OOVItem:    items,
+		TrainSteps: 60,
+	})
+}

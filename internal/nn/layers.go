@@ -3,6 +3,8 @@ package nn
 import (
 	"math"
 	"math/rand"
+
+	"rex/internal/vec"
 )
 
 // Layer is one differentiable stage of the MLP. Forward consumes the
@@ -35,10 +37,7 @@ func (l *Linear) Forward(x *Mat, train bool) *Mat {
 	w := &Mat{R: l.In, C: l.Out, V: l.W.W}
 	y := MatMul(x, w)
 	for i := 0; i < y.R; i++ {
-		row := y.Row(i)
-		for j := range row {
-			row[j] += l.B.W[j]
-		}
+		vec.Add(y.Row(i), l.B.W)
 	}
 	return y
 }
@@ -47,14 +46,9 @@ func (l *Linear) Forward(x *Mat, train bool) *Mat {
 func (l *Linear) Backward(dy *Mat) *Mat {
 	// dW += xᵀ dy ; db += column sums of dy ; dx = dy Wᵀ
 	dw := MatMulATransposed(l.x, dy)
-	for i, v := range dw.V {
-		l.W.G[i] += v
-	}
+	vec.Add(l.W.G, dw.V)
 	for i := 0; i < dy.R; i++ {
-		row := dy.Row(i)
-		for j := range row {
-			l.B.G[j] += row[j]
-		}
+		vec.Add(l.B.G, dy.Row(i))
 	}
 	w := &Mat{R: l.In, C: l.Out, V: l.W.W}
 	return MatMulBTransposed(dy, w)
@@ -205,12 +199,8 @@ func (e *EmbeddingPair) Lookup(users, items []uint32) *Mat {
 func (e *EmbeddingPair) Accumulate(d *Mat) {
 	for r := 0; r < d.R; r++ {
 		row := d.Row(r)
-		ug := e.Users.G[int(e.bu[r])*e.Dim : (int(e.bu[r])+1)*e.Dim]
-		ig := e.Items.G[int(e.bi[r])*e.Dim : (int(e.bi[r])+1)*e.Dim]
-		for k := 0; k < e.Dim; k++ {
-			ug[k] += row[k]
-			ig[k] += row[e.Dim+k]
-		}
+		vec.Add(e.Users.G[int(e.bu[r])*e.Dim:(int(e.bu[r])+1)*e.Dim], row[:e.Dim])
+		vec.Add(e.Items.G[int(e.bi[r])*e.Dim:(int(e.bi[r])+1)*e.Dim], row[e.Dim:])
 	}
 }
 

@@ -7,6 +7,8 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+
+	"rex/internal/vec"
 )
 
 // Mat is a dense row-major float32 matrix.
@@ -48,8 +50,10 @@ func MatMul(a, b *Mat) *Mat {
 		panic(fmt.Sprintf("nn: matmul %dx%d x %dx%d", a.R, a.C, b.R, b.C))
 	}
 	out := NewMat(a.R, b.C)
-	// ikj loop order keeps the inner loop streaming over contiguous rows
-	// of b and out, which matters for the larger embedding batches.
+	// ikj loop order keeps the inner axpy streaming over contiguous rows
+	// of b and out, which matters for the larger embedding batches. The
+	// zero test preserves the ReLU-sparsity skip (and the exact bits: an
+	// axpy with 0 could flip a -0 accumulator).
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -58,10 +62,7 @@ func MatMul(a, b *Mat) *Mat {
 			if aik == 0 {
 				continue
 			}
-			brow := b.Row(k)
-			for j := range orow {
-				orow[j] += aik * brow[j]
-			}
+			vec.Axpy(aik, b.Row(k), orow)
 		}
 	}
 	return out
@@ -80,10 +81,7 @@ func MatMulATransposed(a, b *Mat) *Mat {
 			if av == 0 {
 				continue
 			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			vec.Axpy(av, brow, out.Row(i))
 		}
 	}
 	return out
@@ -99,12 +97,7 @@ func MatMulBTransposed(a, b *Mat) *Mat {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.R; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k := range arow {
-				s += arow[k] * brow[k]
-			}
-			orow[j] = s
+			orow[j] = vec.Dot(arow, b.Row(j))
 		}
 	}
 	return out
@@ -124,11 +117,7 @@ func newParam(name string, n int) *Param {
 }
 
 // ZeroGrad clears the accumulated gradient.
-func (p *Param) ZeroGrad() {
-	for i := range p.G {
-		p.G[i] = 0
-	}
-}
+func (p *Param) ZeroGrad() { vec.Zero(p.G) }
 
 // initNormal fills w with N(0, std) values.
 func initNormal(w []float32, std float64, rng *rand.Rand) {

@@ -159,6 +159,40 @@ func (n *Net) Predict(user, item uint32) float32 {
 	return out.At(0, 0)
 }
 
+// PredictBatch implements model.BatchPredictor: one forward pass over the
+// in-vocabulary examples of the batch instead of one per example — the
+// batched matmuls are what make the test stage cheap for the DNN. Each
+// row of a forward pass is computed independently (per-row axpy/dot over
+// that row only), so out[j] is bit-identical to Predict(users[j],
+// items[j]).
+func (n *Net) PredictBatch(users, items []uint32, out []float32) {
+	if len(users) != len(items) || len(users) != len(out) {
+		panic("nn: predict batch length mismatch")
+	}
+	if len(out) == 0 {
+		return
+	}
+	vu := make([]uint32, 0, len(out))
+	vi := make([]uint32, 0, len(out))
+	pos := make([]int, 0, len(out))
+	for j := range out {
+		if int(users[j]) >= n.cfg.NumUsers || int(items[j]) >= n.cfg.NumItems {
+			out[j] = 3.5 // out-of-vocabulary fallback
+			continue
+		}
+		vu = append(vu, users[j])
+		vi = append(vi, items[j])
+		pos = append(pos, j)
+	}
+	if len(vu) == 0 {
+		return
+	}
+	y := n.forward(vu, vi, false)
+	for r, j := range pos {
+		out[j] = y.At(r, 0)
+	}
+}
+
 // MergeWeighted implements model.Model: a dense weighted average of every
 // parameter tensor. All REX DNN nodes share the architecture (enforced by
 // attestation), so tensors align one-to-one. Optimizer moments are reset
@@ -212,12 +246,22 @@ const netMagic = uint32(0x5245584e) // "REXN"
 // Marshal implements model.Model: magic, param tensor count, then each
 // tensor as (len, float32 data). Architecture compatibility is assumed
 // (enclave attestation guarantees identical code and config).
-func (n *Net) Marshal() ([]byte, error) {
-	size := 8
-	for _, p := range n.params {
-		size += 4 + 4*len(p.W)
+func (n *Net) Marshal() ([]byte, error) { return n.MarshalAppend(nil) }
+
+// MarshalAppend implements model.AppendMarshaler: the canonical Marshal
+// bytes appended to dst, growing it at most once, so share paths can
+// serialize the (large, fixed-size) parameter block into a reused buffer.
+func (n *Net) MarshalAppend(dst []byte) ([]byte, error) {
+	need := n.WireSize()
+	start := len(dst)
+	if cap(dst)-start < need {
+		grown := make([]byte, start+need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:start+need]
 	}
-	buf := make([]byte, size)
+	buf := dst[start:]
 	binary.LittleEndian.PutUint32(buf, netMagic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(len(n.params)))
 	off := 8
@@ -229,7 +273,7 @@ func (n *Net) Marshal() ([]byte, error) {
 			off += 4
 		}
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // Unmarshal implements model.Model.

@@ -33,26 +33,42 @@ const (
 )
 
 // EncodePayload serializes a protocol payload (pre-encryption): sender id,
-// degree, kind, then the model or ratings bytes.
+// degree, kind, then the model or ratings bytes. Models supporting
+// model.AppendMarshaler serialize straight into the output buffer — one
+// exact-size allocation, no staging copy of the (large) parameter body.
 func EncodePayload(p core.Payload) ([]byte, error) {
-	var body []byte
-	kind := payloadEmpty
+	header := func(out []byte, kind byte) {
+		binary.LittleEndian.PutUint32(out, uint32(p.From))
+		binary.LittleEndian.PutUint32(out[4:], uint32(p.Degree))
+		out[8] = kind
+	}
 	switch {
 	case p.Model != nil:
+		out := make([]byte, 9, 9+p.Model.WireSize())
+		header(out, payloadModel)
+		if am, ok := p.Model.(model.AppendMarshaler); ok {
+			out, err := am.MarshalAppend(out)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: marshaling model: %w", err)
+			}
+			return out, nil
+		}
 		b, err := p.Model.Marshal()
 		if err != nil {
 			return nil, fmt.Errorf("runtime: marshaling model: %w", err)
 		}
-		body, kind = b, payloadModel
+		return append(out, b...), nil
 	case p.Data != nil:
-		body, kind = dataset.EncodeRatings(p.Data), payloadData
+		body := dataset.EncodeRatings(p.Data)
+		out := make([]byte, 9+len(body))
+		header(out, payloadData)
+		copy(out[9:], body)
+		return out, nil
+	default:
+		out := make([]byte, 9)
+		header(out, payloadEmpty)
+		return out, nil
 	}
-	out := make([]byte, 9+len(body))
-	binary.LittleEndian.PutUint32(out, uint32(p.From))
-	binary.LittleEndian.PutUint32(out[4:], uint32(p.Degree))
-	out[8] = kind
-	copy(out[9:], body)
-	return out, nil
 }
 
 // DecodePayload parses EncodePayload output. newModel supplies an empty

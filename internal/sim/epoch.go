@@ -222,8 +222,18 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	}
 
 	elapsed := mergeT + trainT + shareT + testT
-	if cfg.ShareParallel && cfg.Mode == core.DataSharing && shareT < trainT {
-		elapsed = mergeT + trainT + testT // share hidden under training
+	if cfg.ShareParallel && cfg.Mode == core.DataSharing {
+		// §III-D overlap: the sample is drawn from the pre-train store, so
+		// serialization and dispatch ride alongside training and the epoch
+		// pays whichever is longer — merge + max(train, share) + test.
+		// (Pre-fix this only hid the share when shareT < trainT; with
+		// shareT >= trainT the sender serialized all four stages even
+		// though sendDone above already modeled the overlap.)
+		overlapped := trainT
+		if shareT > overlapped {
+			overlapped = shareT
+		}
+		elapsed = mergeT + overlapped + testT
 	}
 	eng.clocks[i] = start + elapsed
 	eng.cumBytes[i] += float64(inBytes + outBytes)

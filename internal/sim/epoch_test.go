@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/topology"
+)
+
+// shareParallelConfig builds a perfectly symmetric 2-node, 1-epoch
+// data-sharing workload: equal partition and test-set sizes mean both
+// nodes have identical merge/train/share/test stage times, so the
+// per-alive-node Stage means ARE the per-node values and the epoch clock
+// can be reconstructed from them exactly.
+func shareParallelConfig(steps int, shareParallel bool) Config {
+	rng := rand.New(rand.NewSource(4))
+	part := func(userBase int) (train, test []dataset.Rating) {
+		for u := 0; u < 10; u++ {
+			for it := 0; it < 10; it++ {
+				r := dataset.Rating{
+					User:  uint32(userBase + u),
+					Item:  uint32(it),
+					Value: float32(rng.Intn(9)+1) / 2,
+				}
+				if it < 7 {
+					train = append(train, r)
+				} else {
+					test = append(test, r)
+				}
+			}
+		}
+		return train, test
+	}
+	tr0, te0 := part(0)
+	tr1, te1 := part(10)
+	mcfg := mf.DefaultConfig()
+	cp := MFCompute(mcfg.K)
+	// Inflate serialization cost so the share-dominant case dominates by a
+	// wide margin even at steps=1.
+	cp.SerializeSecPerByte *= 1000
+	return Config{
+		Graph: topology.FullyConnected(2),
+		Algo:  gossip.DPSGD, Mode: core.DataSharing,
+		Epochs: 1, StepsPerEpoch: steps, SharePoints: 40,
+		ShareParallel: shareParallel,
+		NewModel:      func(int) model.Model { return mf.New(mcfg) },
+		Train:         [][]dataset.Rating{tr0, tr1},
+		Test:          [][]dataset.Rating{te0, te1},
+		Compute:       cp,
+		TestEvery:     1,
+		Seed:          12,
+	}
+}
+
+// TestShareParallelOverlapCost is the regression test for the cost-model
+// wart ROADMAP flagged: with ShareParallel the epoch must cost
+// merge + max(train, share) + test in BOTH regimes. The pre-fix code only
+// hid the share when shareT < trainT; when shareT >= trainT the sender's
+// clock serialized all four stages (while sendDone already modeled the
+// overlap), so the share-dominated case below would have reported
+// merge+train+share+test. This is an owned results change: ShareParallel
+// runs with share-bound epochs now finish earlier than before.
+func TestShareParallelOverlapCost(t *testing.T) {
+	reconstruct := func(res *Result, overlap bool) float64 {
+		st := res.Series[0].Stage
+		if !overlap {
+			return st.Merge + st.Train + st.Share + st.Test
+		}
+		longer := st.Train
+		if st.Share > longer {
+			longer = st.Share
+		}
+		return st.Merge + longer + st.Test
+	}
+	check := func(name string, res *Result, overlap bool) {
+		t.Helper()
+		st := res.Series[0].Stage
+		if st.Train <= 0 || st.Share <= 0 {
+			t.Fatalf("%s: degenerate stages %+v", name, st)
+		}
+		want := reconstruct(res, overlap)
+		if diff := math.Abs(res.TotalTimeMax - want); diff > 1e-12*want {
+			t.Fatalf("%s: TotalTimeMax = %.12g, want %.12g (stages %+v)",
+				name, res.TotalTimeMax, want, st)
+		}
+	}
+
+	// Share-dominant: steps=1 makes trainT tiny next to the inflated
+	// serialization cost. The fixed model must charge merge+share+test.
+	shareDom, err := Run(shareParallelConfig(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := shareDom.Series[0].Stage; st.Share <= st.Train {
+		t.Fatalf("workload not share-dominant: %+v", st)
+	}
+	check("share-dominant overlap", shareDom, true)
+
+	// Train-dominant: many steps; share hides under training as before.
+	trainDom, err := Run(shareParallelConfig(200_000, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := trainDom.Series[0].Stage; st.Train <= st.Share {
+		t.Fatalf("workload not train-dominant: %+v", st)
+	}
+	check("train-dominant overlap", trainDom, true)
+
+	// ShareParallel off: all four stages serialize.
+	seq, err := Run(shareParallelConfig(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sequential", seq, false)
+
+	// And the overlap must actually save time vs the sequential run of
+	// the identical workload (equality was the pre-fix symptom).
+	if shareDom.TotalTimeMax >= seq.TotalTimeMax {
+		t.Fatalf("overlap saved nothing: %v >= %v", shareDom.TotalTimeMax, seq.TotalTimeMax)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build amd64
+
+package vec
+
+// asmSGD10 gates the SSE2 implementation of the K=10 fused SGD step.
+// Packed single-precision ops are IEEE-identical per lane to the scalar
+// code (no FMA, no reassociation: the dot reduction stays a serial scalar
+// chain), so the assembly preserves the package's bit-identity contract —
+// enforced against the pure-Go kernel by TestFusedSGDStep10AsmBitIdentical.
+const asmSGD10 = true
+
+//go:noescape
+func fusedSGDStep10Asm(x, y []float32, rating, mean, bu, bi, lr, reg float32) (float32, float32)

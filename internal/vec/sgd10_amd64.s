@@ -1,0 +1,150 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fusedSGDStep10Asm(x, y []float32, rating, mean, bu, bi, lr, reg float32) (float32, float32)
+//
+// SSE2 implementation of the K=10 fused biased-MF SGD step. Bit-identity
+// with the pure-Go kernel is load-bearing:
+//   - the dot product is a strictly serial scalar ADDSS chain starting
+//     from +0, exactly the Go accumulation order;
+//   - the embedding update is element-wise, so packed MULPS/SUBPS/ADDPS
+//     lanes compute the identical IEEE-754 single operations the scalar
+//     loop would (no FMA contraction, default rounding);
+//   - bias updates replicate the Go expression shapes operation for
+//     operation.
+TEXT ·fusedSGDStep10Asm(SB), NOSPLIT, $0-80
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DI
+
+	// --- dot = Σ x[i]*y[i], serial chain from +0 ---
+	XORPS X0, X0
+	MOVSS 0(SI), X1
+	MULSS 0(DI), X1
+	ADDSS X1, X0
+	MOVSS 4(SI), X1
+	MULSS 4(DI), X1
+	ADDSS X1, X0
+	MOVSS 8(SI), X1
+	MULSS 8(DI), X1
+	ADDSS X1, X0
+	MOVSS 12(SI), X1
+	MULSS 12(DI), X1
+	ADDSS X1, X0
+	MOVSS 16(SI), X1
+	MULSS 16(DI), X1
+	ADDSS X1, X0
+	MOVSS 20(SI), X1
+	MULSS 20(DI), X1
+	ADDSS X1, X0
+	MOVSS 24(SI), X1
+	MULSS 24(DI), X1
+	ADDSS X1, X0
+	MOVSS 28(SI), X1
+	MULSS 28(DI), X1
+	ADDSS X1, X0
+	MOVSS 32(SI), X1
+	MULSS 32(DI), X1
+	ADDSS X1, X0
+	MOVSS 36(SI), X1
+	MULSS 36(DI), X1
+	ADDSS X1, X0
+
+	// --- e = rating - (((mean + bu) + bi) + dot) ---
+	MOVSS mean+52(FP), X2
+	ADDSS bu+56(FP), X2
+	ADDSS bi+60(FP), X2
+	ADDSS X0, X2
+	MOVSS rating+48(FP), X3
+	SUBSS X2, X3                  // X3 = e (scalar lane)
+
+	// --- broadcasts: X6 = e, X4 = lr, X5 = reg (lane0 stays scalar) ---
+	MOVSS  lr+64(FP), X4
+	SHUFPS $0x00, X4, X4
+	MOVSS  reg+68(FP), X5
+	SHUFPS $0x00, X5, X5
+	MOVAPS X3, X6
+	SHUFPS $0x00, X6, X6
+
+	// --- lanes 0..3 ---
+	MOVUPS 0(SI), X8              // x old
+	MOVUPS 0(DI), X9              // y old
+	MOVAPS X6, X10
+	MULPS  X9, X10                // e*y
+	MOVAPS X5, X11
+	MULPS  X8, X11                // reg*x
+	SUBPS  X11, X10               // e*y - reg*x
+	MULPS  X4, X10                // lr*(e*y - reg*x)
+	ADDPS  X8, X10                // x' = x + ...
+	MOVAPS X6, X12
+	MULPS  X8, X12                // e*x_old
+	MOVAPS X5, X13
+	MULPS  X9, X13                // reg*y
+	SUBPS  X13, X12
+	MULPS  X4, X12
+	ADDPS  X9, X12                // y' = y + ...
+	MOVUPS X10, 0(SI)
+	MOVUPS X12, 0(DI)
+
+	// --- lanes 4..7 ---
+	MOVUPS 16(SI), X8
+	MOVUPS 16(DI), X9
+	MOVAPS X6, X10
+	MULPS  X9, X10
+	MOVAPS X5, X11
+	MULPS  X8, X11
+	SUBPS  X11, X10
+	MULPS  X4, X10
+	ADDPS  X8, X10
+	MOVAPS X6, X12
+	MULPS  X8, X12
+	MOVAPS X5, X13
+	MULPS  X9, X13
+	SUBPS  X13, X12
+	MULPS  X4, X12
+	ADDPS  X9, X12
+	MOVUPS X10, 16(SI)
+	MOVUPS X12, 16(DI)
+
+	// --- lanes 8..9 (8-byte loads zero the upper half; the junk lanes
+	// compute 0*… = 0 and are not stored back) ---
+	MOVQ   32(SI), X8
+	MOVQ   32(DI), X9
+	MOVAPS X6, X10
+	MULPS  X9, X10
+	MOVAPS X5, X11
+	MULPS  X8, X11
+	SUBPS  X11, X10
+	MULPS  X4, X10
+	ADDPS  X8, X10
+	MOVAPS X6, X12
+	MULPS  X8, X12
+	MOVAPS X5, X13
+	MULPS  X9, X13
+	SUBPS  X13, X12
+	MULPS  X4, X12
+	ADDPS  X9, X12
+	MOVQ   X10, 32(SI)
+	MOVQ   X12, 32(DI)
+
+	// --- bu' = bu + lr*(e - reg*bu) ---
+	MOVSS  bu+56(FP), X7
+	MOVAPS X5, X8
+	MULSS  X7, X8
+	MOVAPS X3, X9
+	SUBSS  X8, X9
+	MULSS  X4, X9
+	ADDSS  X7, X9
+	MOVSS  X9, ret+72(FP)
+
+	// --- bi' = bi + lr*(e - reg*bi) ---
+	MOVSS  bi+60(FP), X7
+	MOVAPS X5, X8
+	MULSS  X7, X8
+	MOVAPS X3, X9
+	SUBSS  X8, X9
+	MULSS  X4, X9
+	ADDSS  X7, X9
+	MOVSS  X9, ret1+76(FP)
+
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package vec
+
+const asmSGD10 = false
+
+func fusedSGDStep10Asm(x, y []float32, rating, mean, bu, bi, lr, reg float32) (float32, float32) {
+	return fusedSGDStep10(x, y, rating, mean, bu, bi, lr, reg)
+}

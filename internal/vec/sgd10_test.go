@@ -1,0 +1,73 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFusedSGDStep10AsmBitIdentical pins the assembly fast path to the
+// pure-Go kernel bit for bit: same embedding updates, same bias returns,
+// across a wide range of magnitudes (including values driving subnormal
+// products). On non-amd64 builds the "asm" function is the Go kernel and
+// the test is trivially green.
+func TestFusedSGDStep10AsmBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		scale := math.Pow(10, float64(rng.Intn(9)-4))
+		mk := func() []float32 {
+			s := make([]float32, 10)
+			for i := range s {
+				s[i] = float32(rng.NormFloat64() * scale)
+			}
+			return s
+		}
+		x1, y1 := mk(), mk()
+		x2 := append([]float32(nil), x1...)
+		y2 := append([]float32(nil), y1...)
+		rating := float32(rng.NormFloat64() * 3)
+		mean, bu, bi := float32(3.5), float32(rng.NormFloat64()), float32(rng.NormFloat64())
+		lr, reg := float32(0.005), float32(0.1)
+		gbu, gbi := fusedSGDStep10(x1, y1, rating, mean, bu, bi, lr, reg)
+		abu, abi := fusedSGDStep10Asm(x2, y2, rating, mean, bu, bi, lr, reg)
+		if math.Float32bits(gbu) != math.Float32bits(abu) || math.Float32bits(gbi) != math.Float32bits(abi) {
+			t.Fatalf("trial %d: bias mismatch: go (%v,%v) asm (%v,%v)", trial, gbu, gbi, abu, abi)
+		}
+		requireBitsEq(t, "sgd10.x", 10, x2, x1)
+		requireBitsEq(t, "sgd10.y", 10, y2, y1)
+	}
+}
+
+// TestFusedSGDStepMatchesComposition pins FusedSGDStep (all K) against the
+// unfused Dot + scalar-bias + SGDStep composition it replaces.
+func TestFusedSGDStepMatchesComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 3, 5, 10, 16, 33, 50} {
+		x1, y1 := randSlice(rng, n), randSlice(rng, n)
+		x2 := append([]float32(nil), x1...)
+		y2 := append([]float32(nil), y1...)
+		rating := float32(rng.NormFloat64() * 3)
+		mean, bu, bi := float32(3.5), float32(rng.NormFloat64()), float32(rng.NormFloat64())
+		lr, reg := float32(0.005), float32(0.1)
+
+		pred := mean + bu + bi + Dot(x1, y1)
+		e := rating - pred
+		wbu := bu + lr*(e-reg*bu)
+		wbi := bi + lr*(e-reg*bi)
+		SGDStep(x1, y1, e, lr, reg)
+
+		gbu, gbi := FusedSGDStep(x2, y2, rating, mean, bu, bi, lr, reg)
+		if math.Float32bits(gbu) != math.Float32bits(wbu) || math.Float32bits(gbi) != math.Float32bits(wbi) {
+			t.Fatalf("n=%d: bias mismatch: fused (%v,%v) composed (%v,%v)", n, gbu, gbi, wbu, wbi)
+		}
+		requireBitsEq(t, "fused.x", n, x2, x1)
+		requireBitsEq(t, "fused.y", n, y2, y1)
+	}
+}
+
+func BenchmarkFusedSGDStep10(b *testing.B) {
+	x, y := benchSlices(10)
+	for i := 0; i < b.N; i++ {
+		FusedSGDStep(x, y, 4, 3.5, 0.1, 0.1, 0.005, 0.1)
+	}
+}

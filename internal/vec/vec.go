@@ -1,0 +1,253 @@
+// Package vec is the shared float32 kernel layer under every model family:
+// the SGD inner loops of the MF recommender, the matrix and optimizer
+// arithmetic of the DNN, and the weighted-average merges of the REX
+// protocol all bottom out in these routines. Implementations are
+// loop-unrolled scalar Go — one place for future SIMD or assembly to land
+// for every learner at once.
+//
+// Bit-identity contract: every kernel performs exactly the floating-point
+// operations of its naive reference loop, in the same order. Reductions
+// (Dot, SumSq) use a single sequentially-updated accumulator, and
+// element-wise kernels touch each index independently, so swapping a naive
+// loop for the kernel never changes results by a single bit. Optimizations
+// that reorder float arithmetic (multiple accumulators, FMA) must not be
+// introduced here without owning a results change across the repo's golden
+// and determinism suites.
+//
+// Length contract: the first slice argument defines the operation length;
+// remaining slices must be at least that long (enforced by slice bounds)
+// and any excess is ignored.
+package vec
+
+import "math"
+
+// Dot returns the inner product Σ a[i]*b[i], accumulated left to right.
+func Dot(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var s float32
+	i := 0
+	for ; i <= n-4; i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SumSq returns Σ x[i]², accumulated left to right.
+func SumSq(x []float32) float32 {
+	var s float32
+	i := 0
+	for ; i <= len(x)-4; i += 4 {
+		s += x[i] * x[i]
+		s += x[i+1] * x[i+1]
+		s += x[i+2] * x[i+2]
+		s += x[i+3] * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
+	}
+	return s
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Zero clears x. (range-over-clear compiles to memclr.)
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Add accumulates src into dst: dst[i] += src[i].
+func Add(dst, src []float32) {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i <= n-4; i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// AddScaled accumulates a scaled source into dst: dst[i] += alpha*src[i].
+// This is the weighted-merge kernel (§III-C2 averaging walks rows with it).
+func AddScaled(dst, src []float32, alpha float32) {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i <= n-4; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Axpy is the BLAS spelling of AddScaled: y[i] += alpha*x[i]. The matrix
+// kernels call it by this name; the merge path calls AddScaled. Both names
+// denote the same operation.
+func Axpy(alpha float32, x, y []float32) { AddScaled(y, x, alpha) }
+
+// SGDStep applies one fused biased-MF SGD update to an embedding pair:
+// for each dimension d, with e the prediction error, lr the learning rate
+// and reg the L2 coefficient,
+//
+//	x[d] += lr*(e*y_old[d] - reg*x_old[d])
+//	y[d] += lr*(e*x_old[d] - reg*y_old[d])
+//
+// where the y update deliberately reads the pre-update x (both gradients
+// are taken at the same point), matching the paper's §II-A-b loss exactly.
+func SGDStep(x, y []float32, e, lr, reg float32) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i <= n-2; i += 2 {
+		x0, y0 := x[i], y[i]
+		x1, y1 := x[i+1], y[i+1]
+		x[i] += lr * (e*y0 - reg*x0)
+		y[i] += lr * (e*x0 - reg*y0)
+		x[i+1] += lr * (e*y1 - reg*x1)
+		y[i+1] += lr * (e*x1 - reg*y1)
+	}
+	for ; i < n; i++ {
+		xd, yd := x[i], y[i]
+		x[i] += lr * (e*yd - reg*xd)
+		y[i] += lr * (e*xd - reg*yd)
+	}
+}
+
+// FusedSGDStep runs one complete biased-MF SGD step on an embedding pair
+// in a single call: the prediction dot product, the error against the
+// observed rating (with the global-mean prior and both bias terms), and
+// the SGDStep update, returning the new user and item biases. It performs
+// exactly the arithmetic of Dot + the scalar bias updates + SGDStep, in
+// the same order — fusing only removes call and reload overhead from the
+// innermost training loop, not a single float operation.
+func FusedSGDStep(x, y []float32, rating, mean, bu, bi, lr, reg float32) (float32, float32) {
+	if len(x) == 10 {
+		// The paper's MF rank (§IV-A3a): a fully-unrolled straight-line
+		// body, in SSE2 assembly on amd64 — identical float ops in
+		// identical order either way (see sgd10_amd64.s).
+		if asmSGD10 {
+			return fusedSGDStep10Asm(x, y[:10], rating, mean, bu, bi, lr, reg)
+		}
+		return fusedSGDStep10(x[:10], y[:10], rating, mean, bu, bi, lr, reg)
+	}
+	n := len(x)
+	y = y[:n]
+	var dot float32
+	i := 0
+	for ; i <= n-4; i += 4 {
+		dot += x[i] * y[i]
+		dot += x[i+1] * y[i+1]
+		dot += x[i+2] * y[i+2]
+		dot += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		dot += x[i] * y[i]
+	}
+	e := rating - (mean + bu + bi + dot)
+	for i = 0; i <= n-2; i += 2 {
+		x0, y0 := x[i], y[i]
+		x1, y1 := x[i+1], y[i+1]
+		x[i] += lr * (e*y0 - reg*x0)
+		y[i] += lr * (e*x0 - reg*y0)
+		x[i+1] += lr * (e*y1 - reg*x1)
+		y[i+1] += lr * (e*x1 - reg*y1)
+	}
+	for ; i < n; i++ {
+		xd, yd := x[i], y[i]
+		x[i] += lr * (e*yd - reg*xd)
+		y[i] += lr * (e*xd - reg*yd)
+	}
+	return bu + lr*(e-reg*bu), bi + lr*(e-reg*bi)
+}
+
+func fusedSGDStep10(x, y []float32, rating, mean, bu, bi, lr, reg float32) (float32, float32) {
+	_, _ = x[9], y[9]
+	// dot starts from +0 and accumulates, like the generic loop: folding
+	// the first term into the initializer would flip the sign of a -0 sum.
+	var dot float32
+	dot += x[0] * y[0]
+	dot += x[1] * y[1]
+	dot += x[2] * y[2]
+	dot += x[3] * y[3]
+	dot += x[4] * y[4]
+	dot += x[5] * y[5]
+	dot += x[6] * y[6]
+	dot += x[7] * y[7]
+	dot += x[8] * y[8]
+	dot += x[9] * y[9]
+	e := rating - (mean + bu + bi + dot)
+	x0, y0 := x[0], y[0]
+	x[0] += lr * (e*y0 - reg*x0)
+	y[0] += lr * (e*x0 - reg*y0)
+	x1, y1 := x[1], y[1]
+	x[1] += lr * (e*y1 - reg*x1)
+	y[1] += lr * (e*x1 - reg*y1)
+	x2, y2 := x[2], y[2]
+	x[2] += lr * (e*y2 - reg*x2)
+	y[2] += lr * (e*x2 - reg*y2)
+	x3, y3 := x[3], y[3]
+	x[3] += lr * (e*y3 - reg*x3)
+	y[3] += lr * (e*x3 - reg*y3)
+	x4, y4 := x[4], y[4]
+	x[4] += lr * (e*y4 - reg*x4)
+	y[4] += lr * (e*x4 - reg*y4)
+	x5, y5 := x[5], y[5]
+	x[5] += lr * (e*y5 - reg*x5)
+	y[5] += lr * (e*x5 - reg*y5)
+	x6, y6 := x[6], y[6]
+	x[6] += lr * (e*y6 - reg*x6)
+	y[6] += lr * (e*x6 - reg*y6)
+	x7, y7 := x[7], y[7]
+	x[7] += lr * (e*y7 - reg*x7)
+	y[7] += lr * (e*x7 - reg*y7)
+	x8, y8 := x[8], y[8]
+	x[8] += lr * (e*y8 - reg*x8)
+	y[8] += lr * (e*x8 - reg*y8)
+	x9, y9 := x[9], y[9]
+	x[9] += lr * (e*y9 - reg*x9)
+	y[9] += lr * (e*x9 - reg*y9)
+	return bu + lr*(e-reg*bu), bi + lr*(e-reg*bi)
+}
+
+// AdamStep applies one fused Adam update with decoupled (AdamW-style)
+// weight decay to a parameter tensor: m and v are the first/second moment
+// buffers, bc1/bc2 the bias-correction denominators 1-β1ᵗ and 1-β2ᵗ.
+// Arithmetic mixes float32 state with float64 step math exactly as the
+// reference optimizer loop did, so trajectories are bit-identical.
+func AdamStep(w, g, m, v []float32, lr, wd float64, b1, b2 float32, bc1, bc2, eps float64) {
+	n := len(w)
+	g, m, v = g[:n], m[:n], v[:n]
+	for i := 0; i < n; i++ {
+		gi := g[i]
+		if wd != 0 {
+			w[i] -= float32(lr * wd * float64(w[i]))
+		}
+		m[i] = b1*m[i] + (1-b1)*gi
+		v[i] = b2*v[i] + (1-b2)*gi*gi
+		mhat := float64(m[i]) / bc1
+		vhat := float64(v[i]) / bc2
+		w[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
+	}
+}

@@ -1,0 +1,256 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernels promise bit-identity with their naive reference loops. Every
+// property test below runs the reference next to the kernel across lengths
+// straddling the unroll width (0..67) and asserts float32 equality by bits,
+// not tolerance.
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func bitsEq(a, b float32) bool { return math.Float32bits(a) == math.Float32bits(b) }
+
+func requireBitsEq(t *testing.T, name string, n int, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if !bitsEq(got[i], want[i]) {
+			t.Fatalf("%s n=%d index %d: got %v want %v", name, n, i, got[i], want[i])
+		}
+	}
+}
+
+func TestDotMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 67; n++ {
+		a, b := randSlice(rng, n), randSlice(rng, n)
+		var want float32
+		for i := 0; i < n; i++ {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); !bitsEq(got, want) {
+			t.Fatalf("Dot n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestSumSqMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n <= 67; n++ {
+		x := randSlice(rng, n)
+		var want float32
+		for i := 0; i < n; i++ {
+			want += x[i] * x[i]
+		}
+		if got := SumSq(x); !bitsEq(got, want) {
+			t.Fatalf("SumSq n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestAddMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n <= 67; n++ {
+		dst, src := randSlice(rng, n), randSlice(rng, n)
+		want := append([]float32(nil), dst...)
+		for i := range want {
+			want[i] += src[i]
+		}
+		Add(dst, src)
+		requireBitsEq(t, "Add", n, dst, want)
+	}
+}
+
+func TestAddScaledMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 0; n <= 67; n++ {
+		alpha := float32(rng.NormFloat64())
+		dst, src := randSlice(rng, n), randSlice(rng, n)
+		want := append([]float32(nil), dst...)
+		for i := range want {
+			want[i] += alpha * src[i]
+		}
+		Add2 := append([]float32(nil), dst...)
+		AddScaled(dst, src, alpha)
+		requireBitsEq(t, "AddScaled", n, dst, want)
+		// Axpy is the same kernel under its BLAS name.
+		Axpy(alpha, src, Add2)
+		requireBitsEq(t, "Axpy", n, Add2, want)
+	}
+}
+
+func TestScaleAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 0; n <= 67; n++ {
+		alpha := float32(rng.NormFloat64())
+		x := randSlice(rng, n)
+		want := append([]float32(nil), x...)
+		for i := range want {
+			want[i] *= alpha
+		}
+		Scale(alpha, x)
+		requireBitsEq(t, "Scale", n, x, want)
+		Zero(x)
+		for i := range x {
+			if x[i] != 0 {
+				t.Fatalf("Zero n=%d left %v at %d", n, x[i], i)
+			}
+		}
+	}
+}
+
+func TestSGDStepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 0; n <= 67; n++ {
+		e := float32(rng.NormFloat64())
+		lr, reg := float32(0.005), float32(0.1)
+		x, y := randSlice(rng, n), randSlice(rng, n)
+		wx := append([]float32(nil), x...)
+		wy := append([]float32(nil), y...)
+		for d := 0; d < n; d++ {
+			xd, yd := wx[d], wy[d]
+			wx[d] += lr * (e*yd - reg*xd)
+			wy[d] += lr * (e*xd - reg*yd)
+		}
+		SGDStep(x, y, e, lr, reg)
+		requireBitsEq(t, "SGDStep.x", n, x, wx)
+		requireBitsEq(t, "SGDStep.y", n, y, wy)
+	}
+}
+
+func TestAdamStepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lr, wd, eps := 1e-4, 1e-5, 1e-8
+	b1, b2 := float32(0.9), float32(0.999)
+	for n := 0; n <= 67; n++ {
+		for _, useWD := range []float64{wd, 0} {
+			w, g := randSlice(rng, n), randSlice(rng, n)
+			m, v := randSlice(rng, n), make([]float32, n)
+			for i := range v {
+				v[i] = float32(rng.Float64()) // v must stay non-negative
+			}
+			t_ := 1 + rng.Intn(50)
+			bc1 := 1 - math.Pow(float64(b1), float64(t_))
+			bc2 := 1 - math.Pow(float64(b2), float64(t_))
+			ww := append([]float32(nil), w...)
+			wm := append([]float32(nil), m...)
+			wv := append([]float32(nil), v...)
+			for i, gi := range g {
+				if useWD != 0 {
+					ww[i] -= float32(lr * useWD * float64(ww[i]))
+				}
+				wm[i] = b1*wm[i] + (1-b1)*gi
+				wv[i] = b2*wv[i] + (1-b2)*gi*gi
+				mhat := float64(wm[i]) / bc1
+				vhat := float64(wv[i]) / bc2
+				ww[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
+			}
+			AdamStep(w, g, m, v, lr, useWD, b1, b2, bc1, bc2, eps)
+			requireBitsEq(t, "AdamStep.w", n, w, ww)
+			requireBitsEq(t, "AdamStep.m", n, m, wm)
+			requireBitsEq(t, "AdamStep.v", n, v, wv)
+		}
+	}
+}
+
+// TestLongerSourcesIgnored pins the length contract: the first argument
+// defines the operation length and trailing source elements are untouched.
+func TestLongerSourcesIgnored(t *testing.T) {
+	dst := []float32{1, 2}
+	src := []float32{10, 20, 30}
+	AddScaled(dst, src, 1)
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("AddScaled wrong: %v", dst)
+	}
+	if got := Dot([]float32{1, 1}, []float32{3, 4, 5}); got != 7 {
+		t.Fatalf("Dot used excess elements: %v", got)
+	}
+}
+
+func TestShortSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddScaled with short src must panic")
+		}
+	}()
+	AddScaled(make([]float32, 8), make([]float32, 4), 1)
+}
+
+// --- benchmarks: the numbers behind README's kernel table ---
+
+func benchSlices(n int) ([]float32, []float32) {
+	rng := rand.New(rand.NewSource(9))
+	return randSlice(rng, n), randSlice(rng, n)
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, n := range []int{10, 64, 1024} {
+		a, c := benchSlices(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += Dot(a, c)
+			}
+			sink = s
+		})
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	for _, n := range []int{10, 64, 1024} {
+		a, c := benchSlices(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				AddScaled(a, c, 0.5)
+			}
+		})
+	}
+}
+
+func BenchmarkSGDStep(b *testing.B) {
+	for _, n := range []int{10, 64} {
+		x, y := benchSlices(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SGDStep(x, y, 0.1, 0.005, 0.1)
+			}
+		})
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		w, g := benchSlices(n)
+		m := make([]float32, n)
+		v := make([]float32, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				AdamStep(w, g, m, v, 1e-4, 1e-5, 0.9, 0.999, 0.1, 0.001, 1e-8)
+			}
+		})
+	}
+}
+
+var sink float32
+
+func sizeName(n int) string {
+	switch n {
+	case 10:
+		return "n=10"
+	case 64:
+		return "n=64"
+	case 1024:
+		return "n=1024"
+	}
+	return "n"
+}
