@@ -18,6 +18,7 @@ import (
 	"rex/internal/model"
 	"rex/internal/movielens"
 	"rex/internal/nn"
+	"rex/internal/runtime"
 	"rex/internal/sim"
 	"rex/internal/topology"
 )
@@ -397,6 +398,112 @@ func BenchmarkSimWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- live runtime benches: cluster epoch wall-clock and TCP share fan-out ---
+
+// liveClusterConfig builds a fresh 8-node fully connected live-cluster
+// workload (degree 7, D-PSGD raw-data sharing). Training is deliberately
+// light (50 SGD steps) and sharing heavy (400 points/epoch) so the bench
+// weights the runtime's crypto/codec/transport path, not the MF kernel.
+func liveClusterConfig(b *testing.B, secure bool, epochs int) runtime.ClusterConfig {
+	b.Helper()
+	const seed = 33
+	const n = 8
+	spec := movielens.Latest().Scaled(0.05)
+	spec.Seed = seed
+	ds := movielens.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	trainParts, err := tr.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	testParts, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := mf.DefaultConfig()
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewNode(core.Config{
+			ID: i, Mode: core.DataSharing, Algo: gossip.DPSGD,
+			StepsPerEpoch: 50, SharePoints: 400, Seed: seed,
+		}, mf.New(mcfg), trainParts[i], testParts[i])
+	}
+	return runtime.ClusterConfig{
+		Graph: topology.FullyConnected(n), Nodes: nodes, Epochs: epochs,
+		Secure:   secure,
+		NewModel: func() model.Model { return mf.New(mcfg) },
+	}
+}
+
+// BenchmarkClusterEpoch measures the live in-proc cluster (8 nodes, full
+// mesh, D-PSGD data sharing) with REX protections on and off. One op is a
+// whole cluster run; the ms/epoch metric divides out the epoch count
+// (secure ops also pay the one-time 28-pair attestation).
+func BenchmarkClusterEpoch(b *testing.B) {
+	const epochs = 6
+	for _, secure := range []bool{false, true} {
+		name := "native"
+		if secure {
+			name = "secure"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := liveClusterConfig(b, secure, epochs)
+				b.StartTimer()
+				if _, err := runtime.RunCluster(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N*epochs), "ms/epoch")
+		})
+	}
+}
+
+// BenchmarkTCPShareRound measures a D-PSGD share fan-out over the real TCP
+// transport: one op sends a sealed-payload-sized frame to 4 peers and
+// waits until all 4 have delivered it to their inbox.
+func BenchmarkTCPShareRound(b *testing.B) {
+	const peers = 4
+	hubPeers := map[int]string{}
+	recvs := make([]*runtime.TCPNet, peers)
+	acks := make(chan struct{}, 64)
+	for p := 0; p < peers; p++ {
+		tn, err := runtime.NewTCPNet(p+1, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tn.Close()
+		recvs[p] = tn
+		hubPeers[p+1] = tn.Addr().String()
+		go func(tn *runtime.TCPNet) {
+			for range tn.Inbox() {
+				acks <- struct{}{}
+			}
+		}(tn)
+	}
+	hub, err := runtime.NewTCPNet(0, "127.0.0.1:0", hubPeers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hub.Close()
+
+	frame := make([]byte, 16<<10) // ~ a sealed 1.3k-point REX payload
+	b.SetBytes(int64(peers * len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 1; p <= peers; p++ {
+			if err := hub.Send(p, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for p := 0; p < peers; p++ {
+			<-acks
+		}
 	}
 }
 

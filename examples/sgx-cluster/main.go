@@ -64,14 +64,17 @@ func main() {
 		var rmse float64
 		var in, out int64
 		var attested int
+		var seal, open time.Duration
 		for _, s := range stats {
 			rmse += s.FinalRMSE / float64(len(stats))
 			in += s.BytesIn
 			out += s.BytesOut
 			attested += s.Attested
+			seal += s.Seal
+			open += s.Open
 		}
-		fmt.Printf("%-22s mean RMSE %.4f | wall %7v | traffic in+out %9d B | attestations %2d\n",
-			name, rmse, time.Since(start).Round(time.Millisecond), in+out, attested/2)
+		fmt.Printf("%-22s mean RMSE %.4f | wall %7v | traffic in+out %9d B | attestations %2d | crypto seal %v open %v\n",
+			name, rmse, time.Since(start).Round(time.Millisecond), in+out, attested/2, seal.Round(time.Microsecond), open.Round(time.Microsecond))
 	}
 
 	fmt.Printf("live 8-node fully connected cluster, %d epochs, D-PSGD\n\n", *epochs)

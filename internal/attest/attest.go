@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/big"
 )
 
 // Measurement is the SHA-256 hash of an enclave's initial code, data and
@@ -152,8 +153,15 @@ func NewInfrastructure() *Infrastructure {
 
 // NewPlatform manufactures a platform: generates its report key and PCK
 // key pair (entropy from rand) and registers the PCK certificate.
+//
+// The keys are a pure function of the bytes read from rand. That matters
+// for multi-process clusters: every rexnode process re-derives the whole
+// cluster's collateral from the shared seed, which only verifies if equal
+// entropy yields equal keys. ecdsa.GenerateKey cannot provide this — Go
+// deliberately randomizes its reads (randutil.MaybeReadByte) so callers
+// cannot rely on determinism — hence the explicit derivation here.
 func (inf *Infrastructure) NewPlatform(rand io.Reader) (*Platform, error) {
-	key, err := ecdsa.GenerateKey(elliptic.P256(), rand)
+	key, err := deriveP256Key(rand)
 	if err != nil {
 		return nil, fmt.Errorf("attest: generating PCK key: %w", err)
 	}
@@ -171,6 +179,24 @@ func (inf *Infrastructure) NewPlatform(rand io.Reader) (*Platform, error) {
 	}
 	inf.certs[p.certID] = &key.PublicKey
 	return p, nil
+}
+
+// deriveP256Key builds a P-256 private key deterministically from the
+// entropy stream: 40 bytes (320 bits) reduced into [1, N-1], so the
+// modular bias is negligible (~2^-64).
+func deriveP256Key(rand io.Reader) (*ecdsa.PrivateKey, error) {
+	buf := make([]byte, 40)
+	if _, err := io.ReadFull(rand, buf); err != nil {
+		return nil, err
+	}
+	curve := elliptic.P256()
+	nMinus1 := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	d := new(big.Int).SetBytes(buf)
+	d.Mod(d, nMinus1).Add(d, big.NewInt(1))
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.Curve = curve
+	priv.X, priv.Y = curve.ScalarBaseMult(d.Bytes())
+	return priv, nil
 }
 
 // Revoke marks a platform certificate as revoked; subsequent verifications

@@ -10,16 +10,24 @@ import (
 // format exchanged between REX nodes: little-endian uint32 user, uint32
 // item, float32 value, preceded by a uint32 count.
 func EncodeRatings(rs []Rating) []byte {
-	buf := make([]byte, 4+len(rs)*EncodedSize)
-	binary.LittleEndian.PutUint32(buf, uint32(len(rs)))
-	off := 4
+	return EncodeRatingsAppend(make([]byte, 0, 4+len(rs)*EncodedSize), rs)
+}
+
+// EncodeRatingsAppend appends the EncodeRatings serialization to dst and
+// returns the extended slice, letting share-path callers reuse one buffer
+// across epochs instead of allocating per payload.
+func EncodeRatingsAppend(dst []byte, rs []Rating) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 4+len(rs)*EncodedSize)...)
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(rs)))
+	off += 4
 	for _, r := range rs {
-		binary.LittleEndian.PutUint32(buf[off:], r.User)
-		binary.LittleEndian.PutUint32(buf[off+4:], r.Item)
-		binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(r.Value))
+		binary.LittleEndian.PutUint32(dst[off:], r.User)
+		binary.LittleEndian.PutUint32(dst[off+4:], r.Item)
+		binary.LittleEndian.PutUint32(dst[off+8:], math.Float32bits(r.Value))
 		off += EncodedSize
 	}
-	return buf
+	return dst
 }
 
 // DecodeRatings parses the format produced by EncodeRatings and returns the

@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"fmt"
+
+	"rex/internal/attest"
+	"rex/internal/seccha"
+)
+
+// attestAll performs the §III-A mutual attestation with every neighbor:
+// hellos out, quotes exchanged, channels derived. Gossip from peers that
+// finish attesting us early is buffered raw for the first gather round.
+func (r *runner) attestAll() error {
+	exchanges := make(map[int]*attest.Exchange, len(r.cfg.Neighbors))
+	for _, nb := range r.cfg.Neighbors {
+		ex, err := attest.NewExchange(r.cfg.Platform, r.cfg.Infra, r.cfg.Measurement, r.cfg.Entropy)
+		if err != nil {
+			return err
+		}
+		exchanges[nb] = ex
+		hello, err := ex.Hello()
+		if err != nil {
+			return err
+		}
+		if err := r.cfg.Endpoint.Send(nb, wrap(kindAttest, hello)); err != nil {
+			return err
+		}
+	}
+	r.channels = make(map[int]*seccha.Channel, len(r.cfg.Neighbors))
+	remaining := len(exchanges)
+	for remaining > 0 {
+		env, st := r.recv(nil)
+		if st != recvOK {
+			return fmt.Errorf("endpoint closed with %d peers unattested", remaining)
+		}
+		if len(env.Data) == 0 {
+			return fmt.Errorf("empty frame from %d", env.From)
+		}
+		if env.Data[0] == kindGossip {
+			// A peer that finished attesting us may start epoch 0 while
+			// we still attest others; buffer its gossip for the loop.
+			r.bufferPending(env.From, env.Data[1:])
+			continue
+		}
+		if env.Data[0] != kindAttest {
+			return fmt.Errorf("unknown frame kind %d from %d", env.Data[0], env.From)
+		}
+		ex, ok := exchanges[env.From]
+		if !ok {
+			return fmt.Errorf("attestation message from non-neighbor %d", env.From)
+		}
+		reply, err := ex.HandleMessage(env.Data[1:])
+		if err != nil {
+			return fmt.Errorf("peer %d: %w", env.From, err)
+		}
+		if reply != nil {
+			if err := r.cfg.Endpoint.Send(env.From, wrap(kindAttest, reply)); err != nil {
+				return err
+			}
+		}
+		if ex.Complete() && r.channels[env.From] == nil {
+			key, err := ex.ChannelKey()
+			if err != nil {
+				return err
+			}
+			ch, err := seccha.NewChannel(key, r.cfg.Node.Cfg.ID < env.From)
+			if err != nil {
+				return err
+			}
+			r.channels[env.From] = ch
+			r.stats.Attested++
+			remaining--
+		}
+	}
+	return nil
+}

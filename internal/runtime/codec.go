@@ -33,21 +33,38 @@ const (
 )
 
 // EncodePayload serializes a protocol payload (pre-encryption): sender id,
-// degree, kind, then the model or ratings bytes. Models supporting
-// model.AppendMarshaler serialize straight into the output buffer — one
-// exact-size allocation, no staging copy of the (large) parameter body.
+// degree, kind, then the model or ratings bytes.
 func EncodePayload(p core.Payload) ([]byte, error) {
-	header := func(out []byte, kind byte) {
-		binary.LittleEndian.PutUint32(out, uint32(p.From))
-		binary.LittleEndian.PutUint32(out[4:], uint32(p.Degree))
-		out[8] = kind
-	}
+	return EncodePayloadAppend(make([]byte, 0, 9+payloadBodySize(p)), p)
+}
+
+func payloadBodySize(p core.Payload) int {
 	switch {
 	case p.Model != nil:
-		out := make([]byte, 9, 9+p.Model.WireSize())
-		header(out, payloadModel)
+		return p.Model.WireSize()
+	case p.Data != nil:
+		return 4 + len(p.Data)*dataset.EncodedSize
+	default:
+		return 0
+	}
+}
+
+// EncodePayloadAppend appends the EncodePayload serialization to dst and
+// returns the extended slice — the share path reuses one buffer per
+// runner across epochs, so steady-state epochs encode with zero
+// allocations. Models supporting model.AppendMarshaler serialize straight
+// into the output buffer, with no staging copy of the (large) parameter
+// body.
+func EncodePayloadAppend(dst []byte, p core.Payload) ([]byte, error) {
+	off := len(dst)
+	dst = append(dst, make([]byte, 9)...)
+	binary.LittleEndian.PutUint32(dst[off:], uint32(p.From))
+	binary.LittleEndian.PutUint32(dst[off+4:], uint32(p.Degree))
+	switch {
+	case p.Model != nil:
+		dst[off+8] = payloadModel
 		if am, ok := p.Model.(model.AppendMarshaler); ok {
-			out, err := am.MarshalAppend(out)
+			out, err := am.MarshalAppend(dst)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: marshaling model: %w", err)
 			}
@@ -57,17 +74,13 @@ func EncodePayload(p core.Payload) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runtime: marshaling model: %w", err)
 		}
-		return append(out, b...), nil
+		return append(dst, b...), nil
 	case p.Data != nil:
-		body := dataset.EncodeRatings(p.Data)
-		out := make([]byte, 9+len(body))
-		header(out, payloadData)
-		copy(out[9:], body)
-		return out, nil
+		dst[off+8] = payloadData
+		return dataset.EncodeRatingsAppend(dst, p.Data), nil
 	default:
-		out := make([]byte, 9)
-		header(out, payloadEmpty)
-		return out, nil
+		dst[off+8] = payloadEmpty
+		return dst, nil
 	}
 }
 

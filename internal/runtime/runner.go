@@ -1,0 +1,569 @@
+package runtime
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	goruntime "runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/gossip"
+	"rex/internal/model"
+	"rex/internal/seccha"
+)
+
+// Config drives one live node.
+type Config struct {
+	// Node is the enclaved protocol state (Algorithm 2).
+	Node *core.Node
+	// Endpoint is the untrusted network shell (Algorithm 1).
+	Endpoint Endpoint
+	// Neighbors lists the node's peers in the communication graph.
+	Neighbors []int
+	// Epochs is the number of merge-train-share-test rounds to run.
+	Epochs int
+
+	// Secure enables REX's protections: mutual attestation before any
+	// exchange, and AES-GCM sealing of every gossip payload. False runs
+	// the paper's "native" build: same protocol, plaintext, unattested.
+	Secure bool
+	// Platform, Infra and Measurement configure attestation when Secure.
+	Platform    *attest.Platform
+	Infra       *attest.Infrastructure
+	Measurement attest.Measurement
+	// Entropy supplies randomness for keys and nonces; defaults to
+	// crypto/rand.Reader.
+	Entropy io.Reader
+
+	// NewModel constructs an empty model for decoding model-sharing
+	// payloads; required in ModelSharing mode. It must be safe for
+	// concurrent calls: the gather pipeline decodes frames from distinct
+	// peers in parallel workers.
+	NewModel func() model.Model
+
+	// OnEpoch, when set, observes each completed epoch's test RMSE.
+	OnEpoch func(epoch int, rmse float64)
+
+	// RoundTimeout bounds how long an epoch waits for each neighbor's
+	// message. Zero means wait forever (the paper's failure-free
+	// assumption, §III-D). With a timeout, peers that miss a round are
+	// declared failed and dropped from the neighbor set — the
+	// timeout-based failure detection the paper defers to future work.
+	// Per-peer transport failures (e.g. a send to a closed peer) drop the
+	// peer the same way, regardless of RoundTimeout.
+	RoundTimeout time.Duration
+}
+
+// Stats reports one node's run.
+type Stats struct {
+	// Stage durations accumulated over all epochs (wall clock). Share
+	// sends run concurrently with the test stage, so Share+Test may
+	// exceed an epoch's wall time.
+	Merge, Train, Share, Test time.Duration
+	// Seal and Open accumulate the AES-GCM crypto sub-stages (sealing
+	// inside Share, opening inside the gather that feeds Merge). Both are
+	// summed across concurrent workers: they measure crypto work done,
+	// not wall time.
+	Seal, Open time.Duration
+	// Wire accumulates time spent handing frames to the transport; a
+	// large value means sends blocked on a congested outbound lane.
+	Wire time.Duration
+	// BytesIn/BytesOut count gossip traffic (post-encryption sizes).
+	BytesIn, BytesOut int64
+	// Attested counts completed attestation handshakes.
+	Attested int
+	// PeersLost counts neighbors dropped by the failure detector — round
+	// timeouts and per-peer transport failures.
+	PeersLost int
+	// SendQueueHWM is the transport queue-depth high-water mark, when the
+	// endpoint reports one (see QueueReporter).
+	SendQueueHWM int
+	// PendingHWM is the most ahead-of-round gossip frames ever buffered
+	// at once (fast peers may run a full epoch ahead).
+	PendingHWM int
+	// RMSE is the per-epoch test error trajectory.
+	RMSE []float64
+	// FinalRMSE is the last entry of RMSE.
+	FinalRMSE float64
+}
+
+// Run executes one node until Epochs complete. It returns after the
+// node's own last epoch; peers may still be finishing theirs.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Node == nil || cfg.Endpoint == nil {
+		return nil, fmt.Errorf("runtime: node and endpoint are required")
+	}
+	if cfg.Entropy == nil {
+		cfg.Entropy = rand.Reader
+	}
+	r := &runner{
+		cfg:         cfg,
+		stats:       &Stats{},
+		neighbors:   append([]int(nil), cfg.Neighbors...),
+		pending:     make(map[int][][]byte),
+		sealScratch: make(map[int][]byte),
+	}
+	if cfg.Secure {
+		if cfg.Platform == nil || cfg.Infra == nil {
+			return nil, fmt.Errorf("runtime: secure mode requires a platform and infrastructure")
+		}
+		if err := r.attestAll(); err != nil {
+			return nil, fmt.Errorf("runtime: attestation: %w", err)
+		}
+	}
+	return r.stats, r.loop()
+}
+
+type runner struct {
+	cfg      Config
+	stats    *Stats
+	channels map[int]*seccha.Channel
+	// neighbors is the live neighbor set; the failure detector shrinks it.
+	neighbors []int
+	// pending holds gossip frames per peer that arrived ahead of the
+	// epoch that will consume them (peers may run one epoch ahead);
+	// pendingN counts the buffered frames for the high-water mark.
+	pending  map[int][][]byte
+	pendingN int
+
+	// Share-path scratch, reused across epochs so steady-state epochs
+	// allocate no per-frame encode buffers: the full and empty payload
+	// encodings (no kind byte), their kind-prefixed plaintext frames for
+	// the insecure path, and one sealed-frame buffer per neighbor.
+	encFull, encEmpty     []byte
+	plainFull, plainEmpty []byte
+	sealScratch           map[int][]byte
+	// openScratch holds one plaintext buffer per gather worker slot.
+	openScratch [][]byte
+}
+
+// loop runs the epochs. Epoch 0 trains on local data only; every later
+// epoch first gathers one gossip frame from each neighbor (the Algorithm 2
+// line 13 barrier — RMW peers send empty notifications).
+func (r *runner) loop() error {
+	// Capture transport queue marks even when an epoch errors out, so
+	// failure-path Stats still show whether lanes were congested.
+	defer func() {
+		if q, ok := r.cfg.Endpoint.(QueueReporter); ok {
+			r.stats.SendQueueHWM = q.SendQueueHWM()
+		}
+	}()
+	for e := 0; e < r.cfg.Epochs; e++ {
+		deg := len(r.neighbors)
+		// --- gather + merge ---
+		t0 := time.Now()
+		var payloads []core.Payload
+		if e > 0 {
+			var err error
+			payloads, err = r.gatherRound()
+			if err != nil {
+				return fmt.Errorf("epoch %d: %w", e, err)
+			}
+		}
+		r.cfg.Node.Merge(payloads, deg)
+		r.stats.Merge += time.Since(t0)
+
+		// --- train ---
+		t0 = time.Now()
+		r.cfg.Node.Train()
+		r.stats.Train += time.Since(t0)
+
+		// --- share: payload building (RNG draws, serialization) stays on
+		// the protocol thread for determinism; sealing and sending move to
+		// a background goroutine so they overlap the test stage — the live
+		// analogue of the simulator's ShareParallel cost model.
+		t0 = time.Now()
+		sent, err := r.startShare()
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		r.stats.Share += time.Since(t0)
+
+		// --- test (concurrent with the share sends) ---
+		t0 = time.Now()
+		rmse := r.cfg.Node.TestRMSE()
+		r.stats.Test += time.Since(t0)
+
+		res := <-sent
+		if res.err != nil {
+			return fmt.Errorf("epoch %d: %w", e, res.err)
+		}
+		r.stats.Share += res.dur
+		r.stats.Seal += res.seal
+		r.stats.Wire += res.wire
+		r.stats.BytesOut += res.bytes
+		for _, nb := range res.lost {
+			r.dropPeer(nb)
+		}
+
+		r.stats.RMSE = append(r.stats.RMSE, rmse)
+		r.stats.FinalRMSE = rmse
+		if r.cfg.OnEpoch != nil {
+			r.cfg.OnEpoch(e, rmse)
+		}
+	}
+	return nil
+}
+
+// recvStatus reports how a receive attempt ended.
+type recvStatus int
+
+const (
+	recvOK recvStatus = iota
+	recvClosed
+	recvTimeout
+)
+
+// recv waits for the next envelope, honoring endpoint shutdown (inbox
+// close or Done, whichever the transport signals) and an optional
+// deadline. Buffered frames win over a concurrent shutdown signal.
+func (r *runner) recv(deadline <-chan time.Time) (Envelope, recvStatus) {
+	inbox := r.cfg.Endpoint.Inbox()
+	select {
+	case env, ok := <-inbox:
+		if !ok {
+			return Envelope{}, recvClosed
+		}
+		return env, recvOK
+	default:
+	}
+	select {
+	case env, ok := <-inbox:
+		if !ok {
+			return Envelope{}, recvClosed
+		}
+		return env, recvOK
+	case <-r.cfg.Endpoint.Done():
+		return Envelope{}, recvClosed
+	case <-deadline:
+		return Envelope{}, recvTimeout
+	}
+}
+
+// bufferPending stores a gossip frame that arrived ahead of the round that
+// will consume it.
+func (r *runner) bufferPending(from int, frame []byte) {
+	r.pending[from] = append(r.pending[from], frame)
+	r.pendingN++
+	if r.pendingN > r.stats.PendingHWM {
+		r.stats.PendingHWM = r.pendingN
+	}
+}
+
+// openJob/openResult carry one frame through the gather pipeline.
+type openJob struct {
+	from  int
+	frame []byte
+}
+
+type openResult struct {
+	from  int
+	pl    core.Payload
+	bytes int
+	dur   time.Duration
+	err   error
+}
+
+// gatherRound collects one gossip frame from every live neighbor, opening
+// (decrypting + decoding) each frame as it arrives instead of after the
+// barrier, so fast peers' crypto overlaps the wait for slow ones. Frames
+// a fast peer sends a round early are buffered raw. With RoundTimeout
+// set, neighbors that miss the deadline are declared failed and dropped.
+//
+// The returned payloads are ordered by ascending neighbor id regardless
+// of arrival or open order — the invariant that keeps learning
+// trajectories deterministic for a fixed seed.
+func (r *runner) gatherRound() ([]core.Payload, error) {
+	need := make(map[int]bool, len(r.neighbors))
+	for _, nb := range r.neighbors {
+		need[nb] = true
+	}
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > len(r.neighbors) {
+		workers = len(r.neighbors)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for len(r.openScratch) < workers {
+		r.openScratch = append(r.openScratch, nil)
+	}
+
+	opened := make([]openResult, 0, len(need))
+	inflight := 0
+	var jobs chan openJob
+	var outs chan openResult
+	if workers > 1 {
+		// Worker w owns scratch slot w. A neighbor contributes one frame
+		// per round and rounds join before the next begins, so no two
+		// workers ever touch the same peer's channel concurrently and
+		// nonce order per channel is preserved.
+		jobs = make(chan openJob, len(need))
+		outs = make(chan openResult, len(need))
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for j := range jobs {
+					outs <- r.open(w, j.from, j.frame)
+				}
+			}(w)
+		}
+		defer close(jobs)
+	}
+	dispatch := func(from int, frame []byte) {
+		if workers > 1 {
+			jobs <- openJob{from: from, frame: frame}
+			inflight++
+		} else {
+			opened = append(opened, r.open(0, from, frame))
+		}
+	}
+
+	// Serve from the ahead-of-time buffer first.
+	for _, nb := range r.neighbors {
+		if q := r.pending[nb]; len(q) > 0 && need[nb] {
+			dispatch(nb, q[0])
+			r.pending[nb] = q[1:]
+			r.pendingN--
+			delete(need, nb)
+		}
+	}
+	var deadline <-chan time.Time
+	if r.cfg.RoundTimeout > 0 {
+		timer := time.NewTimer(r.cfg.RoundTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for len(need) > 0 {
+		env, st := r.recv(deadline)
+		switch st {
+		case recvClosed:
+			return nil, fmt.Errorf("endpoint closed waiting for %d peers", len(need))
+		case recvTimeout:
+			// Failure detection: everyone still missing is declared dead.
+			for _, nb := range append([]int(nil), r.neighbors...) {
+				if need[nb] {
+					r.dropPeer(nb)
+					delete(need, nb)
+				}
+			}
+			continue
+		}
+		if len(env.Data) == 0 || env.Data[0] != kindGossip {
+			continue // stray attestation retransmit; ignore
+		}
+		frame := env.Data[1:]
+		switch {
+		case need[env.From]:
+			dispatch(env.From, frame)
+			delete(need, env.From)
+		case r.isNeighbor(env.From):
+			r.bufferPending(env.From, frame)
+		default:
+			// Gossip from a peer the failure detector already dropped
+			// (it may still be alive and sharing); discard rather than
+			// buffer without bound.
+		}
+	}
+	for ; inflight > 0; inflight-- {
+		opened = append(opened, <-outs)
+	}
+
+	sort.Slice(opened, func(i, j int) bool { return opened[i].from < opened[j].from })
+	payloads := make([]core.Payload, 0, len(opened))
+	for _, o := range opened {
+		if o.err != nil {
+			return nil, fmt.Errorf("peer %d: %w", o.from, o.err)
+		}
+		r.stats.BytesIn += int64(o.bytes)
+		r.stats.Open += o.dur
+		payloads = append(payloads, o.pl)
+	}
+	return payloads, nil
+}
+
+// open decrypts (when secure) and decodes one gossip frame. slot selects
+// the per-worker plaintext scratch (reused across epochs; the decoded
+// payload never aliases it — model and ratings decoding copy out).
+func (r *runner) open(slot, from int, frame []byte) openResult {
+	t0 := time.Now()
+	res := openResult{from: from, bytes: len(frame)}
+	body := frame
+	if r.cfg.Secure {
+		ch := r.channels[from]
+		if ch == nil {
+			res.err = fmt.Errorf("gossip from unattested peer")
+			return res
+		}
+		pt, err := ch.OpenAppend(r.openScratch[slot][:0], frame)
+		if err != nil {
+			res.err = err
+			res.dur = time.Since(t0)
+			return res
+		}
+		r.openScratch[slot] = pt
+		body = pt
+	}
+	newModel := r.cfg.NewModel
+	if newModel == nil {
+		newModel = func() model.Model { return nil }
+	}
+	res.pl, res.err = DecodePayload(body, newModel)
+	res.dur = time.Since(t0)
+	return res
+}
+
+// isNeighbor reports whether id is still in the live neighbor set.
+func (r *runner) isNeighbor(id int) bool {
+	for _, nb := range r.neighbors {
+		if nb == id {
+			return true
+		}
+	}
+	return false
+}
+
+// dropPeer removes a failed neighbor from the live set and releases the
+// state held for it (buffered frames, seal scratch).
+func (r *runner) dropPeer(id int) {
+	for i, nb := range r.neighbors {
+		if nb == id {
+			r.neighbors = append(r.neighbors[:i], r.neighbors[i+1:]...)
+			r.stats.PeersLost++
+			r.pendingN -= len(r.pending[id])
+			delete(r.pending, id)
+			delete(r.sealScratch, id)
+			return
+		}
+	}
+}
+
+// shareResult is the outcome of one epoch's seal+send phase.
+type shareResult struct {
+	dur   time.Duration // wall time of the background phase
+	seal  time.Duration // summed across seal workers (may exceed dur)
+	wire  time.Duration // summed time handing frames to the transport
+	bytes int64
+	lost  []int // peers whose transport failed; the loop drops them
+	err   error // fatal: the node's own endpoint closed
+}
+
+// startShare builds this epoch's payloads synchronously — the node's RNG
+// draws (RMW target pick, REX sampling) and the model serialization stay
+// on the protocol thread — then seals and sends in the background. The
+// returned channel yields exactly one result.
+func (r *runner) startShare() (<-chan shareResult, error) {
+	node := r.cfg.Node
+	deg := len(r.neighbors)
+	var targets map[int]bool
+	switch node.Cfg.Algo {
+	case gossip.RMW:
+		if deg > 0 {
+			targets = map[int]bool{r.neighbors[node.RNG().Intn(deg)]: true}
+		}
+	case gossip.DPSGD:
+		targets = make(map[int]bool, deg)
+		for _, nb := range r.neighbors {
+			targets[nb] = true
+		}
+	}
+	payload := node.Share(deg, false)
+	var err error
+	r.encFull, err = EncodePayloadAppend(r.encFull[:0], payload)
+	if err != nil {
+		return nil, err
+	}
+	r.encEmpty, err = EncodePayloadAppend(r.encEmpty[:0], core.Payload{From: node.Cfg.ID, Degree: deg})
+	if err != nil {
+		return nil, err
+	}
+	if !r.cfg.Secure {
+		// The insecure path shares one kind-prefixed frame per body;
+		// transports copy on Send, so reusing the buffers next epoch is
+		// safe.
+		r.plainFull = append(append(r.plainFull[:0], kindGossip), r.encFull...)
+		r.plainEmpty = append(append(r.plainEmpty[:0], kindGossip), r.encEmpty...)
+	}
+	neighbors := r.neighbors
+	done := make(chan shareResult, 1)
+	go func() { done <- r.sendShare(neighbors, targets) }()
+	return done, nil
+}
+
+// sendShare seals this epoch's frame for each neighbor — concurrently
+// across neighbors when more than one CPU is available; each per-pair
+// channel is touched by exactly one goroutine — and enqueues them on the
+// transport. Per-peer transport failures are reported as lost peers; only
+// the closure of the node's own endpoint is fatal.
+func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
+	start := time.Now()
+	type sendOut struct {
+		buf  []byte
+		n    int64
+		seal time.Duration
+		wire time.Duration
+		err  error
+	}
+	outs := make([]sendOut, len(neighbors))
+	sendOne := func(i, nb int) {
+		o := &outs[i]
+		body := r.encEmpty
+		if targets[nb] {
+			body = r.encFull
+		}
+		var frame []byte
+		if r.cfg.Secure {
+			t0 := time.Now()
+			buf := append(r.sealScratch[nb][:0], kindGossip)
+			frame = r.channels[nb].SealAppend(buf, body)
+			o.seal = time.Since(t0)
+			o.buf = frame
+		} else if targets[nb] {
+			frame = r.plainFull
+		} else {
+			frame = r.plainEmpty
+		}
+		o.n = int64(len(frame) - 1) // the kind byte is framing, not payload
+		t0 := time.Now()
+		o.err = r.cfg.Endpoint.Send(nb, frame)
+		o.wire = time.Since(t0)
+	}
+	if r.cfg.Secure && len(neighbors) > 1 && goruntime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for i, nb := range neighbors {
+			wg.Add(1)
+			go func(i, nb int) {
+				defer wg.Done()
+				sendOne(i, nb)
+			}(i, nb)
+		}
+		wg.Wait()
+	} else {
+		for i, nb := range neighbors {
+			sendOne(i, nb)
+		}
+	}
+	var res shareResult
+	for i, nb := range neighbors {
+		o := outs[i]
+		if o.buf != nil {
+			r.sealScratch[nb] = o.buf
+		}
+		res.seal += o.seal
+		res.wire += o.wire
+		switch {
+		case o.err == nil:
+			res.bytes += o.n
+		case errors.Is(o.err, errEndpointClosed):
+			res.err = o.err
+		default:
+			res.lost = append(res.lost, nb)
+		}
+	}
+	res.dur = time.Since(start)
+	return res
+}

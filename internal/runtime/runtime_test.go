@@ -1,7 +1,10 @@
 package runtime
 
 import (
+	"errors"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +32,28 @@ func TestChanNetDelivery(t *testing.T) {
 	}
 	eps[1].Close()
 	eps[1].Close() // double close is safe
+}
+
+// TestChanNetPeerClosed pins the done-channel semantics that replaced the
+// old recover()-on-closed-channel hack: a send to a closed peer reports
+// ErrPeerClosed instead of silently succeeding (or masking real panics).
+func TestChanNetPeerClosed(t *testing.T) {
+	eps := NewChanNet(2)
+	eps[1].Close()
+	err := eps[0].Send(1, []byte("late"))
+	if !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("send to closed peer: got %v, want ErrPeerClosed", err)
+	}
+	// A closed endpoint refuses its own sends too.
+	eps[1].Close()
+	if err := eps[1].Send(0, []byte("x")); err == nil {
+		t.Fatal("closed endpoint accepted a send")
+	}
+	select {
+	case <-eps[1].Done():
+	default:
+		t.Fatal("Done not closed after Close")
+	}
 }
 
 func TestChanNetCopiesData(t *testing.T) {
@@ -146,6 +171,35 @@ func TestPayloadCodecErrors(t *testing.T) {
 	if _, err := DecodePayload(bad, func() model.Model { return nil }); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
+}
+
+// newTCPMesh starts n TCPNets on loopback ports and wires them into a
+// full mesh. Listeners come up first so peers can dial in any order; the
+// peer maps are filled in before any Send, which is the only point the
+// transport reads them.
+func newTCPMesh(t *testing.T, n int) []*TCPNet {
+	t.Helper()
+	nets := make([]*TCPNet, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		tn, err := NewTCPNet(i, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tn.Close() })
+		nets[i] = tn
+		addrs[i] = tn.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		peers := map[int]string{}
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = addrs[j]
+			}
+		}
+		nets[i].peers = peers
+	}
+	return nets
 }
 
 // clusterWorkload builds a small live cluster configuration.
@@ -278,28 +332,7 @@ func TestRunValidation(t *testing.T) {
 func TestLiveOverTCPCluster(t *testing.T) {
 	const n = 3
 	cw := clusterWorkload(t, n, core.DataSharing, gossip.DPSGD, 5)
-
-	// Listeners first so peers can dial in any order.
-	nets := make([]*TCPNet, n)
-	addrs := make([]string, n)
-	for i := 0; i < n; i++ {
-		tn, err := NewTCPNet(i, "127.0.0.1:0", nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		nets[i] = tn
-		addrs[i] = tn.Addr().String()
-		defer tn.Close()
-	}
-	for i := 0; i < n; i++ {
-		peers := map[int]string{}
-		for j := 0; j < n; j++ {
-			if j != i {
-				peers[j] = addrs[j]
-			}
-		}
-		nets[i].peers = peers
-	}
+	nets := newTCPMesh(t, n)
 
 	meas := attest.MeasureCode([]byte("rex-enclave-v1"))
 	inf := attest.NewInfrastructure()
@@ -348,6 +381,170 @@ func TestLiveOverTCPCluster(t *testing.T) {
 			t.Fatal("TCP cluster timed out")
 		}
 	}
+}
+
+// TestClusterGoldenDeterminism is the ISSUE-3 trajectory-determinism
+// acceptance: for a fixed seed, a secure in-proc cluster produces
+// bit-identical per-epoch RMSE run to run (payload merge order is
+// ascending neighbor id regardless of arrival/open order), and the native
+// build of the same workload matches bit for bit too — encryption and
+// transport must never touch the learning.
+func TestClusterGoldenDeterminism(t *testing.T) {
+	run := func(secure bool) []*Stats {
+		cfg := clusterWorkload(t, 6, core.DataSharing, gossip.DPSGD, 6)
+		cfg.Secure = secure
+		stats, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b, native := run(true), run(true), run(false)
+	for i := range a {
+		if len(a[i].RMSE) != 6 || len(b[i].RMSE) != 6 || len(native[i].RMSE) != 6 {
+			t.Fatalf("node %d: short trajectory", i)
+		}
+		for e := range a[i].RMSE {
+			if math.Float64bits(a[i].RMSE[e]) != math.Float64bits(b[i].RMSE[e]) {
+				t.Fatalf("node %d epoch %d: secure runs diverged: %v vs %v", i, e, a[i].RMSE[e], b[i].RMSE[e])
+			}
+			if math.Float64bits(a[i].RMSE[e]) != math.Float64bits(native[i].RMSE[e]) {
+				t.Fatalf("node %d epoch %d: secure %v != native %v", i, e, a[i].RMSE[e], native[i].RMSE[e])
+			}
+		}
+	}
+}
+
+// TestFailureDetectorOverTCP kills a peer mid-run on the real TCP
+// transport: node 3 stops after 2 epochs and closes its endpoint; the
+// survivors' RoundTimeout failure detector (plus per-peer send failures
+// on the dead lanes) must drop it exactly once each and converge.
+func TestFailureDetectorOverTCP(t *testing.T) {
+	const n = 4
+	const epochs = 6
+	cw := clusterWorkload(t, n, core.DataSharing, gossip.DPSGD, epochs)
+	nets := newTCPMesh(t, n)
+
+	type result struct {
+		id  int
+		st  *Stats
+		err error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			neighbors := []int{}
+			for j := 0; j < n; j++ {
+				if j != i {
+					neighbors = append(neighbors, j)
+				}
+			}
+			ep := epochs
+			if i == 3 {
+				ep = 2 // node 3 "crashes" after epoch 2
+			}
+			st, err := Run(Config{
+				Node: cw.Nodes[i], Endpoint: nets[i], Neighbors: neighbors,
+				Epochs:       ep,
+				NewModel:     cw.NewModel,
+				RoundTimeout: 700 * time.Millisecond,
+			})
+			if i == 3 {
+				nets[3].Close() // the crash: flush and drop the endpoint
+			}
+			results <- result{i, st, err}
+		}(i)
+	}
+	for k := 0; k < n; k++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("node %d: %v", r.id, r.err)
+			}
+			if r.id == 3 {
+				continue
+			}
+			if len(r.st.RMSE) != epochs {
+				t.Fatalf("survivor %d ran %d epochs", r.id, len(r.st.RMSE))
+			}
+			if r.st.PeersLost != 1 {
+				t.Fatalf("survivor %d lost %d peers, want 1", r.id, r.st.PeersLost)
+			}
+			if r.st.FinalRMSE <= 0 || r.st.FinalRMSE > 3 {
+				t.Fatalf("survivor %d did not converge: RMSE %v", r.id, r.st.FinalRMSE)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("TCP cluster hung despite failure detector")
+		}
+	}
+}
+
+// TestTCPNetConcurrentLanes exercises the per-peer outbound lanes under
+// the race detector: every node blasts frames at every peer from several
+// goroutines at once while receivers drain, then everything closes
+// concurrently.
+func TestTCPNetConcurrentLanes(t *testing.T) {
+	const (
+		n       = 4
+		senders = 3
+		frames  = 40
+	)
+	nets := newTCPMesh(t, n)
+
+	want := (n - 1) * senders * frames
+	var recvWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		recvWG.Add(1)
+		go func(tn *TCPNet) {
+			defer recvWG.Done()
+			got := 0
+			for got < want {
+				select {
+				case <-tn.Inbox():
+					got++
+				case <-time.After(30 * time.Second):
+					t.Errorf("receiver got %d of %d frames", got, want)
+					return
+				}
+			}
+		}(nets[i])
+	}
+	var sendWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		for s := 0; s < senders; s++ {
+			sendWG.Add(1)
+			go func(tn *TCPNet, id, s int) {
+				defer sendWG.Done()
+				payload := make([]byte, 256)
+				for f := 0; f < frames; f++ {
+					for j := 0; j < n; j++ {
+						if j == id {
+							continue
+						}
+						payload[0] = byte(f)
+						if err := tn.Send(j, payload); err != nil {
+							t.Errorf("send %d->%d: %v", id, j, err)
+							return
+						}
+					}
+				}
+			}(nets[i], i, s)
+		}
+	}
+	sendWG.Wait()
+	recvWG.Wait()
+	if hwm := nets[0].SendQueueHWM(); hwm <= 0 {
+		t.Fatalf("lane queue high-water mark not recorded: %d", hwm)
+	}
+	var closeWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		closeWG.Add(1)
+		go func(tn *TCPNet) {
+			defer closeWG.Done()
+			tn.Close()
+		}(nets[i])
+	}
+	closeWG.Wait()
 }
 
 // TestFailureDetectorDropsDeadPeer runs a 4-node cluster where one node

@@ -1,0 +1,260 @@
+package runtime
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/movielens"
+	"rex/internal/topology"
+)
+
+func TestShardRange(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{8, 2}, {5, 2}, {7, 3}, {4, 4}, {9, 1}} {
+		owners := shardOwners(tc.n, tc.k)
+		covered := 0
+		for s := 0; s < tc.k; s++ {
+			lo, hi := ShardRange(tc.n, tc.k, s)
+			if hi < lo {
+				t.Fatalf("n=%d k=%d s=%d: inverted range [%d,%d)", tc.n, tc.k, s, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				if owners[i] != s {
+					t.Fatalf("n=%d k=%d: node %d owner %d, range says %d", tc.n, tc.k, i, owners[i], s)
+				}
+				covered++
+			}
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d k=%d: ranges cover %d nodes", tc.n, tc.k, covered)
+		}
+	}
+}
+
+// freePorts reserves n distinct localhost TCP ports. The listeners are
+// closed before returning, so a parallel process could in principle steal
+// one — acceptable in tests.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestShardedClusterMatchesInProc runs the same secure workload once as a
+// single-process RunCluster and once as two TCP-bridged shards, and
+// requires bit-identical per-epoch RMSE trajectories — the ISSUE-3
+// acceptance that sharding changes the transport, never the learning.
+func TestShardedClusterMatchesInProc(t *testing.T) {
+	const (
+		n      = 6
+		shards = 2
+		epochs = 5
+	)
+	ref := clusterWorkload(t, n, core.DataSharing, gossip.DPSGD, epochs)
+	ref.Secure = true
+	refStats, err := RunCluster(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same workload again (fresh nodes), now split across two ShardNets
+	// bridged over localhost TCP. Both shards share seed-derived
+	// collateral, as two rexnode processes would.
+	cw := clusterWorkload(t, n, core.DataSharing, gossip.DPSGD, epochs)
+	inf := attest.NewInfrastructure()
+	entropy := rand.New(rand.NewSource(77))
+	platforms := make([]*attest.Platform, n)
+	for i := range platforms {
+		p, err := inf.NewPlatform(entropy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		platforms[i] = p
+	}
+	addrs := freePorts(t, shards)
+	shardAddrs := map[int]string{0: addrs[0], 1: addrs[1]}
+
+	type result struct {
+		stats map[int]*Stats
+		err   error
+	}
+	results := make(chan result, shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			stats, err := RunShard(ShardConfig{
+				Graph: cw.Graph, Nodes: cw.Nodes,
+				Shard: s, NumShards: shards,
+				ListenAddr: addrs[s], ShardAddrs: shardAddrs,
+				Epochs:    epochs,
+				Secure:    true,
+				Platforms: platforms, Infra: inf,
+				NewModel: cw.NewModel,
+			})
+			results <- result{stats, err}
+		}(s)
+	}
+	sharded := make(map[int]*Stats, n)
+	for s := 0; s < shards; s++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			for id, st := range r.stats {
+				sharded[id] = st
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("sharded cluster timed out")
+		}
+	}
+
+	if len(sharded) != n {
+		t.Fatalf("sharded run returned %d node stats", len(sharded))
+	}
+	for i := 0; i < n; i++ {
+		st := sharded[i]
+		if st.Attested != n-1 {
+			t.Fatalf("sharded node %d attested %d of %d", i, st.Attested, n-1)
+		}
+		if len(st.RMSE) != len(refStats[i].RMSE) {
+			t.Fatalf("node %d: %d vs %d epochs", i, len(st.RMSE), len(refStats[i].RMSE))
+		}
+		for e := range st.RMSE {
+			if math.Float64bits(st.RMSE[e]) != math.Float64bits(refStats[i].RMSE[e]) {
+				t.Fatalf("node %d epoch %d: sharded %v != in-proc %v", i, e, st.RMSE[e], refStats[i].RMSE[e])
+			}
+		}
+	}
+}
+
+// TestRexnodeShardProcesses is the end-to-end acceptance for the -shard
+// CLI: build the real rexnode binary, run a 4-node cluster as two OS
+// processes bridged over localhost TCP, and require every node's printed
+// final RMSE to match a single-process RunCluster of the identical
+// workload.
+func TestRexnodeShardProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs rexnode")
+	}
+	const (
+		n      = 4
+		shards = 2
+		epochs = 3
+		seed   = 5
+		scale  = 0.03
+		steps  = 60
+		points = 40
+	)
+	bin := filepath.Join(t.TempDir(), "rexnode")
+	build := exec.Command("go", "build", "-o", bin, "rex/cmd/rexnode")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("cannot build rexnode: %v\n%s", err, out)
+	}
+
+	// In-proc reference: the same workload rexnode derives from the seed.
+	spec := movielens.Latest().Scaled(scale)
+	spec.Seed = seed
+	ds := movielens.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	trainParts, err := tr.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testParts, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := mf.DefaultConfig()
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewNode(core.Config{
+			ID: i, Mode: core.DataSharing, Algo: gossip.DPSGD,
+			StepsPerEpoch: steps, SharePoints: points, Seed: seed,
+		}, mf.New(mcfg), trainParts[i], testParts[i])
+	}
+	refStats, err := RunCluster(ClusterConfig{
+		Graph: topology.FullyConnected(n), Nodes: nodes, Epochs: epochs,
+		Secure:   true,
+		NewModel: func() model.Model { return mf.New(mcfg) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := freePorts(t, shards)
+	peers := addrs[0] + "," + addrs[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	outputs := make([]*bytes.Buffer, shards)
+	procs := make([]*exec.Cmd, shards)
+	for s := 0; s < shards; s++ {
+		outputs[s] = &bytes.Buffer{}
+		procs[s] = exec.CommandContext(ctx, bin,
+			"-shard", fmt.Sprintf("%d/%d", s, shards),
+			"-peers", peers,
+			"-n", fmt.Sprint(n),
+			"-epochs", fmt.Sprint(epochs),
+			"-seed", fmt.Sprint(seed),
+			"-scale", fmt.Sprint(scale),
+			"-steps", fmt.Sprint(steps),
+			"-share", fmt.Sprint(points),
+		)
+		procs[s].Stdout = outputs[s]
+		procs[s].Stderr = outputs[s]
+		if err := procs[s].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		if err := procs[s].Wait(); err != nil {
+			t.Fatalf("shard %d: %v\n%s", s, err, outputs[s])
+		}
+	}
+
+	got := map[int]string{}
+	for s := 0; s < shards; s++ {
+		sc := bufio.NewScanner(bytes.NewReader(outputs[s].Bytes()))
+		for sc.Scan() {
+			var id int
+			var rmse string
+			if _, err := fmt.Sscanf(sc.Text(), "node %d done: final RMSE %s", &id, &rmse); err == nil {
+				got[id] = rmse
+			}
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("parsed %d node results, want %d\nshard0:\n%s\nshard1:\n%s", len(got), n, outputs[0], outputs[1])
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("%.10f", refStats[i].FinalRMSE)
+		if got[i] != want {
+			t.Fatalf("node %d: sharded processes RMSE %s, single-process cluster %s", i, got[i], want)
+		}
+	}
+}

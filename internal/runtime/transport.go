@@ -4,16 +4,26 @@
 // the Algorithm 1 + Algorithm 2 pairing of the paper — the untrusted
 // bootstrap/network shell around the enclaved protocol logic in
 // internal/core — and backs the rexnode command and the examples.
+//
+// The runtime is layered:
+//
+//   - transport (this file, channet.go, tcp.go, shard.go): Endpoint
+//     implementations. TCPNet gives every peer a dedicated outbound lane
+//     (writer goroutine + bounded queue) so a slow peer never stalls sends
+//     to healthy ones; ShardNet bridges several in-process nodes across
+//     OS processes over one TCP link per shard pair.
+//   - runner (runner.go, attest.go): the per-node epoch pipeline — frames
+//     are decrypted and decoded as they arrive, per-neighbor sealing runs
+//     concurrently, and share-sends overlap the test stage.
+//   - cluster drivers (cluster.go, shard.go): RunCluster executes a whole
+//     deployment in one process; RunShard runs one shard of a
+//     multi-process deployment.
 package runtime
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"net"
-	"sync"
-	"time"
+	"sync/atomic"
 )
 
 // Envelope is one delivered message.
@@ -25,213 +35,70 @@ type Envelope struct {
 // Endpoint is a node's connection to its peers. Implementations must
 // deliver messages from any single peer in FIFO order.
 type Endpoint interface {
-	// Send transmits data to peer `to`. Data is retained until sent.
+	// Send transmits data to peer `to`. Implementations copy data before
+	// returning (or retain it only until the frame is handed to the OS),
+	// so the caller may reuse the buffer once Send returns. Delivery may
+	// be asynchronous: a nil error means the frame was accepted, not that
+	// the peer received it; transport failures surface on later Sends.
 	Send(to int, data []byte) error
-	// Inbox streams received envelopes; closed when the endpoint closes.
+	// Inbox streams received envelopes.
 	Inbox() <-chan Envelope
-	// Close releases resources and closes the inbox.
+	// Done is closed when the endpoint shuts down. Receivers select on it
+	// alongside Inbox; implementations whose inbox has concurrent senders
+	// keep the inbox channel open forever and signal shutdown here only.
+	Done() <-chan struct{}
+	// Close releases resources and closes Done.
 	Close() error
 }
 
-// --- in-process transport ---
-
-// chanEndpoint is one port of an in-process mesh.
-type chanEndpoint struct {
-	id    int
-	mesh  []*chanEndpoint
-	inbox chan Envelope
-	once  sync.Once
+// QueueReporter is an optional Endpoint extension reporting the transport
+// queue-depth high-water mark observed so far (outbound lane depth for
+// TCPNet, inbox depth for the in-process transports). The runner copies it
+// into Stats so pipelining headroom is measurable.
+type QueueReporter interface {
+	SendQueueHWM() int
 }
 
-// NewChanNet builds a fully meshed in-process transport for n nodes, one
-// endpoint per node. It backs the examples and tests; semantics match the
-// TCP transport (reliable, per-peer FIFO).
-func NewChanNet(n int) []Endpoint {
-	eps := make([]*chanEndpoint, n)
-	for i := range eps {
-		eps[i] = &chanEndpoint{id: i, inbox: make(chan Envelope, 16*n+64)}
+// ErrPeerClosed reports a send to a peer whose endpoint has shut down.
+// The runner treats it (like any per-peer transport failure) as a peer
+// loss, not a fatal error.
+var ErrPeerClosed = errors.New("runtime: peer endpoint closed")
+
+// errEndpointClosed reports use of an endpoint after its own Close; unlike
+// a per-peer failure it aborts the run.
+var errEndpointClosed = errors.New("runtime: endpoint closed")
+
+// maxQueueHWM folds a fresh depth observation into a high-water slot.
+// Callers pass the same *atomic value; a CAS loop keeps concurrent
+// observers from regressing the mark.
+func maxQueueHWM(slot *atomic.Int64, depth int64) {
+	for {
+		cur := slot.Load()
+		if depth <= cur || slot.CompareAndSwap(cur, depth) {
+			return
+		}
 	}
-	for i := range eps {
-		eps[i].mesh = eps
-	}
-	out := make([]Endpoint, n)
-	for i := range eps {
-		out[i] = eps[i]
-	}
-	return out
 }
 
-func (e *chanEndpoint) Send(to int, data []byte) error {
-	if to < 0 || to >= len(e.mesh) {
-		return fmt.Errorf("runtime: no peer %d", to)
+// deliverLocal implements in-process delivery shared by the chan and
+// shard transports: copy data into the destination inbox, honoring both
+// sides' shutdown signals. The upfront peer-done check gives a
+// deterministic ErrPeerClosed even when the inbox still has room.
+func deliverLocal(from int, data []byte, to int, inbox chan Envelope, peerDone, ownDone <-chan struct{}, hwm *atomic.Int64) error {
+	select {
+	case <-peerDone:
+		return fmt.Errorf("runtime: peer %d: %w", to, ErrPeerClosed)
+	default:
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	defer func() { recover() }() // racing a concurrent Close is a no-op, not a crash
-	e.mesh[to].inbox <- Envelope{From: e.id, Data: cp}
-	return nil
-}
-
-func (e *chanEndpoint) Inbox() <-chan Envelope { return e.inbox }
-
-func (e *chanEndpoint) Close() error {
-	e.once.Do(func() { close(e.inbox) })
-	return nil
-}
-
-// --- TCP transport ---
-
-// frame layout: uint32 length, uint32 sender id, payload.
-const frameHeader = 8
-
-// maxFrame bounds a frame to keep a malicious peer from exhausting memory.
-const maxFrame = 512 << 20
-
-// TCPNet is a TCP-based Endpoint: one listener accepting inbound streams,
-// lazily dialed outbound connections, length-prefixed frames.
-type TCPNet struct {
-	id    int
-	peers map[int]string
-
-	ln    net.Listener
-	inbox chan Envelope
-
-	mu       sync.Mutex
-	conns    map[int]net.Conn
-	accepted []net.Conn
-	done     chan struct{}
-	wg       sync.WaitGroup
-	once     sync.Once
-}
-
-// NewTCPNet starts a TCP endpoint for node id, listening on listenAddr,
-// with peers mapping node ids to host:port addresses.
-func NewTCPNet(id int, listenAddr string, peers map[int]string) (*TCPNet, error) {
-	ln, err := net.Listen("tcp", listenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("runtime: listen %s: %w", listenAddr, err)
+	select {
+	case inbox <- Envelope{From: from, Data: cp}:
+		maxQueueHWM(hwm, int64(len(inbox)))
+		return nil
+	case <-peerDone:
+		return fmt.Errorf("runtime: peer %d: %w", to, ErrPeerClosed)
+	case <-ownDone:
+		return errEndpointClosed
 	}
-	t := &TCPNet{
-		id: id, peers: peers, ln: ln,
-		inbox: make(chan Envelope, 1024),
-		conns: make(map[int]net.Conn),
-		done:  make(chan struct{}),
-	}
-	t.wg.Add(1)
-	go t.acceptLoop()
-	return t, nil
-}
-
-// Addr returns the bound listen address.
-func (t *TCPNet) Addr() net.Addr { return t.ln.Addr() }
-
-func (t *TCPNet) acceptLoop() {
-	defer t.wg.Done()
-	for {
-		conn, err := t.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		t.mu.Lock()
-		t.accepted = append(t.accepted, conn)
-		t.mu.Unlock()
-		t.wg.Add(1)
-		go t.readLoop(conn)
-	}
-}
-
-func (t *TCPNet) readLoop(conn net.Conn) {
-	defer t.wg.Done()
-	defer conn.Close()
-	hdr := make([]byte, frameHeader)
-	for {
-		if _, err := io.ReadFull(conn, hdr); err != nil {
-			return
-		}
-		ln := binary.LittleEndian.Uint32(hdr)
-		from := int(binary.LittleEndian.Uint32(hdr[4:]))
-		if ln > maxFrame {
-			return
-		}
-		body := make([]byte, ln)
-		if _, err := io.ReadFull(conn, body); err != nil {
-			return
-		}
-		select {
-		case t.inbox <- Envelope{From: from, Data: body}:
-		case <-t.done:
-			return
-		}
-	}
-}
-
-// dial returns (establishing if needed) the outbound connection to peer.
-// Dialing retries briefly so cluster members may start in any order.
-func (t *TCPNet) dial(to int) (net.Conn, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if c, ok := t.conns[to]; ok {
-		return c, nil
-	}
-	addr, ok := t.peers[to]
-	if !ok {
-		return nil, fmt.Errorf("runtime: unknown peer %d", to)
-	}
-	var lastErr error
-	for attempt := 0; attempt < 50; attempt++ {
-		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			t.conns[to] = c
-			return c, nil
-		}
-		lastErr = err
-		select {
-		case <-t.done:
-			return nil, errors.New("runtime: endpoint closed")
-		case <-time.After(200 * time.Millisecond):
-		}
-	}
-	return nil, fmt.Errorf("runtime: dialing peer %d at %s: %w", to, addr, lastErr)
-}
-
-// Send implements Endpoint.
-func (t *TCPNet) Send(to int, data []byte) error {
-	conn, err := t.dial(to)
-	if err != nil {
-		return err
-	}
-	frame := make([]byte, frameHeader+len(data))
-	binary.LittleEndian.PutUint32(frame, uint32(len(data)))
-	binary.LittleEndian.PutUint32(frame[4:], uint32(t.id))
-	copy(frame[frameHeader:], data)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, err := conn.Write(frame); err != nil {
-		delete(t.conns, to)
-		conn.Close()
-		return fmt.Errorf("runtime: sending to %d: %w", to, err)
-	}
-	return nil
-}
-
-// Inbox implements Endpoint.
-func (t *TCPNet) Inbox() <-chan Envelope { return t.inbox }
-
-// Close implements Endpoint.
-func (t *TCPNet) Close() error {
-	t.once.Do(func() {
-		close(t.done)
-		t.ln.Close()
-		t.mu.Lock()
-		for _, c := range t.conns {
-			c.Close()
-		}
-		for _, c := range t.accepted {
-			c.Close()
-		}
-		t.mu.Unlock()
-		t.wg.Wait()
-		close(t.inbox)
-	})
-	return nil
 }

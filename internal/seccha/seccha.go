@@ -136,7 +136,14 @@ func (c *Channel) nonce(seq uint64, sending bool) []byte {
 // reorder surfaces as an authentication failure — the strict in-order
 // delivery REX's pairwise TCP/ZeroMQ links provide.
 func (c *Channel) Seal(plaintext []byte) []byte {
-	ct := c.aead.Seal(nil, c.nonce(c.sendSeq, true), plaintext, nil)
+	return c.SealAppend(nil, plaintext)
+}
+
+// SealAppend is Seal appending the ciphertext to dst (which may be nil, or
+// a buffer being reused across epochs) and returning the extended slice.
+// dst must not alias plaintext.
+func (c *Channel) SealAppend(dst, plaintext []byte) []byte {
+	ct := c.aead.Seal(dst, c.nonce(c.sendSeq, true), plaintext, nil)
 	c.sendSeq++
 	return ct
 }
@@ -147,7 +154,14 @@ var ErrAuth = errors.New("seccha: message authentication failed")
 // Open decrypts the next in-order ciphertext, advancing the receive
 // sequence only on success.
 func (c *Channel) Open(ciphertext []byte) ([]byte, error) {
-	pt, err := c.aead.Open(nil, c.nonce(c.recvSeq, false), ciphertext, nil)
+	return c.OpenAppend(nil, ciphertext)
+}
+
+// OpenAppend is Open appending the plaintext to dst (which may be nil, or
+// a buffer being reused across epochs) and returning the extended slice.
+// dst must not alias ciphertext.
+func (c *Channel) OpenAppend(dst, ciphertext []byte) ([]byte, error) {
+	pt, err := c.aead.Open(dst, c.nonce(c.recvSeq, false), ciphertext, nil)
 	if err != nil {
 		return nil, ErrAuth
 	}

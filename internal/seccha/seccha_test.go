@@ -3,6 +3,7 @@ package seccha
 import (
 	"bytes"
 	"crypto/sha256"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -58,6 +59,45 @@ func TestChannelRoundtrip(t *testing.T) {
 	}
 	if !bytes.Equal(pt, msg) {
 		t.Fatalf("roundtrip mismatch: %q", pt)
+	}
+}
+
+// TestChannelAppendVariants pins the buffer-reuse API the live runtime's
+// share/open scratch depends on: SealAppend/OpenAppend must produce the
+// same bytes as Seal/Open, append after any prefix, and stay correct when
+// the same buffer is recycled across messages.
+func TestChannelAppendVariants(t *testing.T) {
+	key := bytes.Repeat([]byte{0x5c}, 32)
+	mk := func(init bool) *Channel {
+		c, err := NewChannel(key, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(true), mk(false)
+	a2, b2 := mk(true), mk(false)
+	var sealBuf, openBuf []byte
+	for i := 0; i < 5; i++ {
+		msg := []byte(fmt.Sprintf("epoch %d payload", i))
+		ref := a2.Seal(msg)
+		sealBuf = append(sealBuf[:0], 0xEE) // simulated frame kind prefix
+		sealBuf = a.SealAppend(sealBuf, msg)
+		if sealBuf[0] != 0xEE || !bytes.Equal(sealBuf[1:], ref) {
+			t.Fatalf("message %d: SealAppend diverged from Seal", i)
+		}
+		refPt, err := b2.Open(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := b.OpenAppend(openBuf[:0], sealBuf[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		openBuf = pt
+		if !bytes.Equal(pt, refPt) || !bytes.Equal(pt, msg) {
+			t.Fatalf("message %d: OpenAppend mismatch: %q", i, pt)
+		}
 	}
 }
 

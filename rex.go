@@ -213,6 +213,19 @@ type NodeStats = runtime.Stats
 // attestation (when Secure), AES-GCM sealed gossip.
 func RunCluster(cfg ClusterConfig) ([]*NodeStats, error) { return runtime.RunCluster(cfg) }
 
+// ShardConfig configures one shard of a multi-process live deployment:
+// this process runs a contiguous block of the topology's nodes in-proc
+// and bridges cross-shard edges over TCP (see cmd/rexnode -shard).
+type ShardConfig = runtime.ShardConfig
+
+// RunShard executes one shard of a sharded live cluster and returns the
+// local nodes' stats keyed by node id.
+func RunShard(cfg ShardConfig) (map[int]*NodeStats, error) { return runtime.RunShard(cfg) }
+
+// ShardRange returns the node block [lo, hi) that shard s of k owns in an
+// n-node sharded deployment.
+func ShardRange(n, k, s int) (lo, hi int) { return runtime.ShardRange(n, k, s) }
+
 // PeerSampling is the gossip membership service (partial views, swap,
 // self-healing) REX networks can bootstrap their topology from.
 type PeerSampling = peersampling.Service
