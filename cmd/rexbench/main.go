@@ -14,16 +14,18 @@ import (
 	"time"
 
 	"rex/internal/experiments"
+	"rex/internal/faultnet"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
-		full    = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		points  = flag.Int("points", 12, "series rows printed per curve")
-		workers = flag.Int("workers", 0, "simulator goroutines per epoch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		list    = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
+		full     = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		points   = flag.Int("points", 12, "series rows printed per curve")
+		workers  = flag.Int("workers", 0, "simulator goroutines per epoch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		scenario = flag.String("scenario", "", "chaos scenario: a canned name (see internal/faultnet.Canned) or a JSON spec file; injects seeded message loss/delay/duplication/reordering, partitions and churn into every simulated run")
+		list     = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -35,6 +37,16 @@ func main() {
 	}
 
 	params := experiments.Params{Full: *full, Seed: *seed, Out: os.Stdout, Points: *points, Workers: *workers}
+	if *scenario != "" {
+		sc, err := faultnet.Resolve(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: %v\n", err)
+			os.Exit(2)
+		}
+		params.Scenario = sc
+		fmt.Printf("### chaos scenario %q (seed %d): drop=%.2f delay=%.2f dup=%.2f reorder=%.2f partitions=%d churn=%d\n\n",
+			sc.Name, sc.Seed, sc.Drop, sc.Delay, sc.Duplicate, sc.Reorder, len(sc.Partitions), len(sc.Churn))
+	}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)

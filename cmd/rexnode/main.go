@@ -37,6 +37,7 @@ import (
 	"rex/internal/attest"
 	"rex/internal/core"
 	"rex/internal/dataset"
+	"rex/internal/faultnet"
 	"rex/internal/gossip"
 	"rex/internal/mf"
 	"rex/internal/model"
@@ -46,31 +47,33 @@ import (
 )
 
 type options struct {
-	epochs int
-	mode   core.Mode
-	algo   gossip.Algo
-	secure bool
-	seed   int64
-	scale  float64
-	points int
-	steps  int
+	epochs   int
+	mode     core.Mode
+	algo     gossip.Algo
+	secure   bool
+	seed     int64
+	scale    float64
+	points   int
+	steps    int
+	scenario *faultnet.Scenario
 }
 
 func main() {
 	var (
-		id      = flag.Int("id", 0, "this node's index into -nodes (single-node mode)")
-		nodes   = flag.String("nodes", "", "comma-separated host:port of every node, in id order (single-node mode)")
-		shard   = flag.String("shard", "", "i/of: run shard i of a multi-process cluster (with -peers and -n)")
-		peers   = flag.String("peers", "", "comma-separated host:port of every shard's bridge, in shard order (sharded mode)")
-		nTotal  = flag.Int("n", 0, "total node count across all shards (sharded mode)")
-		epochs  = flag.Int("epochs", 50, "training epochs")
-		modeStr = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
-		algoStr = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
-		secure  = flag.Bool("secure", true, "attest peers and encrypt gossip (REX); false = native plaintext")
-		seed    = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
-		scale   = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
-		points  = flag.Int("share", 100, "raw data points shared per epoch")
-		steps   = flag.Int("steps", 300, "SGD steps per epoch")
+		id       = flag.Int("id", 0, "this node's index into -nodes (single-node mode)")
+		nodes    = flag.String("nodes", "", "comma-separated host:port of every node, in id order (single-node mode)")
+		shard    = flag.String("shard", "", "i/of: run shard i of a multi-process cluster (with -peers and -n)")
+		peers    = flag.String("peers", "", "comma-separated host:port of every shard's bridge, in shard order (sharded mode)")
+		nTotal   = flag.Int("n", 0, "total node count across all shards (sharded mode)")
+		epochs   = flag.Int("epochs", 50, "training epochs")
+		modeStr  = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
+		algoStr  = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
+		secure   = flag.Bool("secure", true, "attest peers and encrypt gossip (REX); false = native plaintext")
+		seed     = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
+		scale    = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
+		points   = flag.Int("share", 100, "raw data points shared per epoch")
+		steps    = flag.Int("steps", 300, "SGD steps per epoch")
+		scenario = flag.String("scenario", "", "chaos scenario: a canned name (see internal/faultnet.Canned) or a JSON spec file — every process of the cluster must pass the same spec")
 	)
 	flag.Parse()
 
@@ -85,6 +88,14 @@ func main() {
 	opts := options{
 		epochs: *epochs, mode: mode, algo: algo, secure: *secure,
 		seed: *seed, scale: *scale, points: *points, steps: *steps,
+	}
+	if *scenario != "" {
+		sc, err := faultnet.Resolve(*scenario)
+		if err != nil {
+			log.Fatalf("rexnode: %v", err)
+		}
+		opts.scenario = sc
+		log.Printf("chaos scenario %q (seed %d) active", sc.Name, sc.Seed)
 	}
 	if *shard != "" {
 		runSharded(*shard, *peers, *nTotal, opts)
@@ -183,6 +194,10 @@ func runSingle(id int, nodesList string, o options) {
 		cfg.Measurement = attest.MeasureCode([]byte("rex-enclave-v1"))
 		cfg.Entropy = rand.New(rand.NewSource(o.seed + int64(id) + 1000))
 	}
+	var faultLog faultnet.Log
+	if o.scenario != nil {
+		o.scenario.ApplyRun(&cfg, &faultLog)
+	}
 
 	stats, err := runtime.Run(cfg)
 	if err != nil {
@@ -231,6 +246,10 @@ func runSharded(shardSpec, peersList string, n int, o options) {
 	if o.secure {
 		cfg.Infra, cfg.Platforms = collateral(n, o.seed)
 	}
+	var faultLog faultnet.Log
+	if o.scenario != nil {
+		o.scenario.ApplyShard(&cfg, &faultLog)
+	}
 	stats, err := runtime.RunShard(cfg)
 	if err != nil {
 		log.Fatalf("rexnode: %v", err)
@@ -241,7 +260,8 @@ func runSharded(shardSpec, peersList string, n int, o options) {
 }
 
 func printStats(id int, s *runtime.Stats) {
-	fmt.Printf("node %d done: final RMSE %.10f | merge %v train %v share %v test %v | seal %v open %v wire %v | in %d B out %d B | attested %d | lost %d | queue hwm %d\n",
+	fmt.Printf("node %d done: final RMSE %.10f | merge %v train %v share %v test %v | seal %v open %v wire %v | in %d B out %d B | attested %d | lost %d rejoined %d | faults dropped %d delayed %d | queue hwm %d\n",
 		id, s.FinalRMSE, s.Merge, s.Train, s.Share, s.Test,
-		s.Seal, s.Open, s.Wire, s.BytesIn, s.BytesOut, s.Attested, s.PeersLost, s.SendQueueHWM)
+		s.Seal, s.Open, s.Wire, s.BytesIn, s.BytesOut, s.Attested,
+		s.PeersLost, s.Rejoins, s.DroppedFrames, s.DelayedFrames, s.SendQueueHWM)
 }

@@ -8,10 +8,13 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+
+	"rex/internal/faultnet"
 )
 
 // Params configure a harness invocation.
@@ -29,6 +32,25 @@ type Params struct {
 	// Workers): 0 uses GOMAXPROCS, 1 forces sequential runs. Results are
 	// bit-identical for every value, so it is excluded from memo keys.
 	Workers int
+	// Scenario, when set, injects the chaos schedule (rexbench -scenario)
+	// into every simulated run: the paper artifacts re-run under message
+	// loss, partitions and churn. Scenarios change results, so they are
+	// part of the memo keys.
+	Scenario *faultnet.Scenario
+}
+
+// scenarioTag is the memo-key component identifying the fault schedule —
+// the full marshaled spec, so two scenarios sharing a name and seed but
+// differing anywhere in the schedule never collide in the cache.
+func (p Params) scenarioTag() string {
+	if p.Scenario == nil {
+		return ""
+	}
+	b, err := json.Marshal(p.Scenario)
+	if err != nil {
+		return fmt.Sprintf("|sc:%+v", *p.Scenario)
+	}
+	return "|sc:" + string(b)
 }
 
 func (p Params) defaults() Params {

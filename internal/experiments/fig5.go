@@ -51,7 +51,7 @@ func mlpParams(cfg nn.Config) int {
 // dnnRun is one Fig 5 cell: algo fixed to D-PSGD (the paper's DNN uses
 // D-PSGD only), topology SW or ER, mode MS or DS.
 func dnnRun(p Params, topo string, mode core.Mode) (*sim.Result, error) {
-	return memoized(memoKey("fig5", p.Full, p.Seed, topo, mode), func() (*sim.Result, error) {
+	return memoized(memoKey("fig5", p.Full, p.Seed, topo, mode, p.scenarioTag()), func() (*sim.Result, error) {
 		n := dnnNodes(p.Full)
 		w, err := multiUser(latestSpec(p.Full, p.Seed), n, p.Seed)
 		if err != nil {
@@ -77,6 +77,7 @@ func dnnRun(p Params, topo string, mode core.Mode) (*sim.Result, error) {
 			Net:       sim.DefaultNet(),
 			Compute:   sim.DNNCompute(mlpParams(ncfg), ncfg.EmbDim, ncfg.BatchSize),
 			TestEvery: testCadence(p.Full),
+			Scenario:  p.Scenario,
 			Seed:      p.Seed,
 		})
 	})

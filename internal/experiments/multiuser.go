@@ -21,7 +21,7 @@ func multiUserNodes(full bool) int {
 // multiUserRuns executes (or fetches memoized) the multi-user MF scenario
 // for all four setups.
 func multiUserRuns(p Params) ([]pairResult, error) {
-	return memoized(memoKey("multiuser", p.Full, p.Seed), func() ([]pairResult, error) {
+	return memoized(memoKey("multiuser", p.Full, p.Seed, p.scenarioTag()), func() ([]pairResult, error) {
 		n := multiUserNodes(p.Full)
 		w, err := multiUser(latestSpec(p.Full, p.Seed), n, p.Seed)
 		if err != nil {

@@ -27,7 +27,7 @@ func oneNodeRuns(p Params) ([]pairResult, *baseline.Result, error) {
 		pairs []pairResult
 		base  *baseline.Result
 	}
-	b, err := memoized(memoKey("onenode", p.Full, p.Seed), func() (bundle, error) {
+	b, err := memoized(memoKey("onenode", p.Full, p.Seed, p.scenarioTag()), func() (bundle, error) {
 		w, err := oneNodePerUser(latestSpec(p.Full, p.Seed), p.Seed)
 		if err != nil {
 			return bundle{}, err

@@ -73,7 +73,7 @@ func sgxEnclaveParams(full, big bool) enclave.Params {
 // (big=false: MovieLens-Latest-shaped, Fig 6; big=true: 25M-capped-shaped,
 // Fig 7).
 func sgxRun(p Params, big bool, cell sgxCell) (*sim.Result, error) {
-	return memoized(memoKey("sgx", p.Full, p.Seed, big, cell.String()), func() (*sim.Result, error) {
+	return memoized(memoKey("sgx", p.Full, p.Seed, big, cell.String(), p.scenarioTag()), func() (*sim.Result, error) {
 		spec := latestSpec(p.Full, p.Seed)
 		if big {
 			spec = bigSpec(p.Full, p.Seed)

@@ -178,6 +178,7 @@ func simConfig(w *workload, g *topology.Graph, algo gossip.Algo, mode core.Mode,
 		Net:           sim.DefaultNet(),
 		Compute:       sim.MFCompute(mcfg.K),
 		TestEvery:     testCadence(p.Full),
+		Scenario:      p.Scenario,
 		Seed:          p.Seed,
 	}
 }

@@ -1,0 +1,85 @@
+package mf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"rex/internal/dataset"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the model deserializer — the
+// bytes every model-sharing node accepts from its peers. Malformed,
+// truncated, duplicated or reordered records must produce an error and
+// leave the receiver untouched, never panic; a successful decode must
+// re-marshal to the same canonical bytes.
+func FuzzUnmarshal(f *testing.F) {
+	cfg := DefaultConfig()
+	// Seed corpus: an empty model, a trained model, and a trained model
+	// with flipped bytes at structurally interesting offsets.
+	empty, _ := New(cfg).Marshal()
+	f.Add(empty)
+	m := New(cfg)
+	m.Train([]dataset.Rating{
+		{User: 0, Item: 1, Value: 4}, {User: 2, Item: 5, Value: 1.5}, {User: 7, Item: 1, Value: 3},
+	}, 200, rand.New(rand.NewSource(3)))
+	good, err := m.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	for _, off := range []int{0, 4, 8, 12, 16, 20, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xff
+		f.Add(bad)
+	}
+	f.Add(good[:len(good)-3]) // truncated
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if allocHeavy(b, cfg.K) {
+			t.Skip("alloc-heavy body (legal large-id model, too slow to fuzz)")
+		}
+		dst := New(cfg)
+		if err := dst.Unmarshal(b); err != nil {
+			// On error the receiver must be untouched: still empty.
+			if dst.ParamCount() != 0 {
+				t.Fatalf("failed Unmarshal mutated the receiver (%d params)", dst.ParamCount())
+			}
+			return
+		}
+		// Canonical roundtrip: a decoded model re-marshals to the exact
+		// accepted bytes (Marshal's strict id order makes this total).
+		out, err := dst.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("roundtrip not canonical: %d in, %d out", len(b), len(out))
+		}
+	})
+}
+
+// allocHeavy mirrors the structural checks of Unmarshal and reports
+// whether the body would allocate a dense table past id 2^20 — legal (the
+// wire cap is 2^24) but too slow to exercise per fuzz iteration.
+func allocHeavy(b []byte, k int) bool {
+	if len(b) < 16 || int(binary.LittleEndian.Uint32(b[4:])) != k {
+		return false
+	}
+	nu := int(binary.LittleEndian.Uint32(b[8:]))
+	ni := int(binary.LittleEndian.Uint32(b[12:]))
+	rec := 4 + 4 + 4*k
+	if nu < 0 || ni < 0 || len(b) != 16+rec*(nu+ni) {
+		return false
+	}
+	const limit = 1 << 20
+	if nu > 0 && int(binary.LittleEndian.Uint32(b[16+(nu-1)*rec:])) > limit {
+		return true
+	}
+	if ni > 0 && int(binary.LittleEndian.Uint32(b[16+(nu+ni-1)*rec:])) > limit {
+		return true
+	}
+	return false
+}

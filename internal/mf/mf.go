@@ -349,6 +349,9 @@ func mergeTables(dst *table, selfW float32, srcs []*table, ws []float32) {
 
 const magic = uint32(0x5245584d) // "REXM"
 
+// maxEntityID bounds user/item ids accepted off the wire (see Unmarshal).
+const maxEntityID = 1 << 24
+
 // Marshal serializes the model: magic, K, user count, item count, then
 // (id, bias, k floats) records for present users then items, in id order —
 // deterministic, so identical models serialize identically.
@@ -434,7 +437,11 @@ func (m *Model) Unmarshal(b []byte) error {
 		// section's last record carries its highest id: validate it, then
 		// allocate the table exactly once for the whole bulk copy.
 		last := int(binary.LittleEndian.Uint32(b[off+(n-1)*rec:]))
-		if last > 1<<28 {
+		if last > maxEntityID {
+			// A dense table is allocated up to the highest id, so a tiny
+			// frame claiming a huge id would be a decompression bomb
+			// (64 bytes of wire -> gigabytes of table). Real id spaces
+			// here are ~10^4-10^5; reject anything wildly beyond them.
 			return fmt.Errorf("mf: implausible entity id %d", last)
 		}
 		t.growCap(last, false)

@@ -38,6 +38,15 @@ type ClusterConfig struct {
 	// RoundTimeout enables per-round failure detection (see
 	// Config.RoundTimeout).
 	RoundTimeout time.Duration
+	// PeerGrace, Rejoin and Absent configure failure-detector grace,
+	// dropped-peer readmission and oracle churn (see Config); WrapEndpoint,
+	// when set, wraps each node's transport — the hook internal/faultnet
+	// uses to inject its fault schedule under a whole cluster.
+	PeerGrace    int
+	Rejoin       bool
+	Absent       func(node, epoch int) bool
+	SkipExpect   func(self, from, epoch int) bool
+	WrapEndpoint func(node int, ep Endpoint) Endpoint
 }
 
 // RunCluster executes every node concurrently and returns their stats in
@@ -51,6 +60,11 @@ func RunCluster(cfg ClusterConfig) ([]*Stats, error) {
 		cfg.NodesPerPlatform = 2
 	}
 	eps := NewChanNet(n)
+	if cfg.WrapEndpoint != nil {
+		for i := range eps {
+			eps[i] = cfg.WrapEndpoint(i, eps[i])
+		}
+	}
 
 	var inf *attest.Infrastructure
 	platforms := make([]*attest.Platform, n)
@@ -80,6 +94,10 @@ func RunCluster(cfg ClusterConfig) ([]*Stats, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			var skip func(from, epoch int) bool
+			if cfg.SkipExpect != nil {
+				skip = func(from, epoch int) bool { return cfg.SkipExpect(i, from, epoch) }
+			}
 			st, err := Run(Config{
 				Node:         cfg.Nodes[i],
 				Endpoint:     eps[i],
@@ -92,6 +110,10 @@ func RunCluster(cfg ClusterConfig) ([]*Stats, error) {
 				Entropy:      cfg.Entropy,
 				NewModel:     cfg.NewModel,
 				RoundTimeout: cfg.RoundTimeout,
+				PeerGrace:    cfg.PeerGrace,
+				Rejoin:       cfg.Rejoin,
+				Absent:       cfg.Absent,
+				SkipExpect:   skip,
 			})
 			stats[i], errs[i] = st, err
 		}(i)

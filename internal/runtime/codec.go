@@ -17,6 +17,15 @@ const (
 	kindGossip byte = 2 // sealed protocol payload
 )
 
+// FrameKindAttest and FrameKindGossip expose the wire frame kinds so
+// transport wrappers (internal/faultnet) can tell attestation handshakes
+// from gossip payloads without decoding them: faults apply to gossip
+// only — the bootstrap handshake has no retry path.
+const (
+	FrameKindAttest = kindAttest
+	FrameKindGossip = kindGossip
+)
+
 // wrap prefixes the kind byte.
 func wrap(kind byte, body []byte) []byte {
 	out := make([]byte, 1+len(body))

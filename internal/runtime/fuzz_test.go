@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/mf"
+	"rex/internal/model"
+)
+
+// FuzzDecodePayload throws arbitrary bytes at the gossip frame decoder:
+// malformed, truncated, oversized or reordered inputs must produce an
+// error, never a panic, and a successful decode must re-encode cleanly.
+// Every frame a live node gathers passes through this path after
+// decryption, so it is the runtime's parser attack surface.
+func FuzzDecodePayload(f *testing.F) {
+	mcfg := mf.DefaultConfig()
+	// Seed corpus: one valid frame per payload kind, plus classic parser
+	// traps (truncations, kind confusion, absurd counts).
+	for _, p := range []core.Payload{
+		{From: 3, Degree: 7},
+		{From: 1, Degree: 2, Data: []dataset.Rating{{User: 5, Item: 6, Value: 2.5}}},
+	} {
+		b, err := EncodePayload(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	m := mf.New(mcfg)
+	m.Train([]dataset.Rating{{User: 1, Item: 2, Value: 4}}, 50, rand.New(rand.NewSource(1)))
+	if b, err := EncodePayload(core.Payload{From: 9, Degree: 4, Model: m}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(func() []byte { // data payload claiming 2^31 ratings
+		b := make([]byte, 13)
+		b[8] = 2
+		binary.LittleEndian.PutUint32(b[9:], 1<<31)
+		return b
+	}())
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) > 9 && b[8] == payloadModel && mfAllocHeavy(b[9:], mcfg.K) {
+			// Structurally valid model bodies with very large entity ids
+			// decode into tens of megabytes of dense table. That is an
+			// error-free (attested peers run honest code) but slow path;
+			// keep the fuzzer fast by skipping the giant-allocation cases.
+			t.Skip("alloc-heavy model body")
+		}
+		p, err := DecodePayload(b, func() model.Model { return mf.New(mcfg) })
+		if err != nil {
+			return
+		}
+		if _, err := EncodePayload(p); err != nil {
+			t.Fatalf("decoded payload does not re-encode: %v", err)
+		}
+	})
+}
+
+// mfAllocHeavy reports whether a serialized mf model would pass Unmarshal's
+// structural checks while claiming entity ids past 2^20 — legal on the
+// wire (the id space cap is 2^24) but a dense-table allocation too large
+// to exercise thousands of times per second under the fuzzer.
+func mfAllocHeavy(body []byte, k int) bool {
+	if len(body) < 16 || int(binary.LittleEndian.Uint32(body[4:])) != k {
+		return false // header errors reject it before any allocation
+	}
+	nu := int(binary.LittleEndian.Uint32(body[8:]))
+	ni := int(binary.LittleEndian.Uint32(body[12:]))
+	rec := 4 + 4 + 4*k
+	if nu < 0 || ni < 0 || len(body) != 16+rec*(nu+ni) {
+		return false
+	}
+	const limit = 1 << 20
+	if nu > 0 && int(binary.LittleEndian.Uint32(body[16+(nu-1)*rec:])) > limit {
+		return true
+	}
+	if ni > 0 && int(binary.LittleEndian.Uint32(body[16+(nu+ni-1)*rec:])) > limit {
+		return true
+	}
+	return false
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	goruntime "runtime"
 	"sort"
 	"sync"
@@ -57,6 +58,32 @@ type Config struct {
 	// Per-peer transport failures (e.g. a send to a closed peer) drop the
 	// peer the same way, regardless of RoundTimeout.
 	RoundTimeout time.Duration
+
+	// PeerGrace is how many consecutive missed rounds (round timeouts or
+	// per-peer send failures) a neighbor survives before the failure
+	// detector drops it. Zero keeps the original behavior — the first miss
+	// drops — which is right for permanent crashes but too eager under
+	// transient faults (lossy links, partitions that heal).
+	PeerGrace int
+	// Rejoin keeps a way back for dropped peers: the share stage keeps
+	// probing them with empty frames, and a gossip frame arriving from a
+	// dropped peer readmits it to the live set (counted in Stats.Rejoins).
+	// Without it, as before, a drop is permanent.
+	Rejoin bool
+	// Absent, when set, is an oracle churn schedule shared by the whole
+	// cluster (internal/faultnet Scenario.Absent): a node scheduled absent
+	// for an epoch runs nothing that epoch, and its neighbors neither wait
+	// for nor send to it — the live analogue of the simulator's
+	// oracle-detected FailAt crashes, generalized to leave/rejoin.
+	Absent func(node, epoch int) bool
+	// SkipExpect, when set, is oracle fault detection for scheduled
+	// message loss (faultnet Scenario.Oracle): SkipExpect(from, epoch)
+	// reports that the frame peer `from` would have sent at `epoch` is
+	// scheduled away (dropped or partition-cut), so the gather proceeds
+	// without waiting for it — no round-timeout stall, no miss counted.
+	// Without it, scheduled losses surface through the RoundTimeout
+	// failure detector like any real loss.
+	SkipExpect func(from, epoch int) bool
 }
 
 // Stats reports one node's run.
@@ -78,8 +105,17 @@ type Stats struct {
 	// Attested counts completed attestation handshakes.
 	Attested int
 	// PeersLost counts neighbors dropped by the failure detector — round
-	// timeouts and per-peer transport failures.
+	// timeouts and per-peer transport failures. With Config.PeerGrace a
+	// neighbor is dropped (and counted) only after grace is exhausted, and
+	// at most once per loss: a healed partition must not overcount.
 	PeersLost int
+	// Rejoins counts dropped peers readmitted after their gossip resumed
+	// (Config.Rejoin).
+	Rejoins int
+	// DroppedFrames and DelayedFrames count faults injected by a
+	// fault-injecting transport wrapper, when the endpoint reports them
+	// (see FaultReporter); zero on clean transports.
+	DroppedFrames, DelayedFrames int64
 	// SendQueueHWM is the transport queue-depth high-water mark, when the
 	// endpoint reports one (see QueueReporter).
 	SendQueueHWM int
@@ -123,8 +159,13 @@ type runner struct {
 	cfg      Config
 	stats    *Stats
 	channels map[int]*seccha.Channel
-	// neighbors is the live neighbor set; the failure detector shrinks it.
+	// neighbors is the live neighbor set (always sorted ascending); the
+	// failure detector shrinks it, rejoins grow it back.
 	neighbors []int
+	// miss counts consecutive missed rounds per neighbor for the grace
+	// window; lost remembers dropped peers eligible to rejoin.
+	miss map[int]int
+	lost []int
 	// pending holds gossip frames per peer that arrived ahead of the
 	// epoch that will consume them (peers may run one epoch ahead);
 	// pendingN counts the buffered frames for the high-water mark.
@@ -152,15 +193,33 @@ func (r *runner) loop() error {
 		if q, ok := r.cfg.Endpoint.(QueueReporter); ok {
 			r.stats.SendQueueHWM = q.SendQueueHWM()
 		}
+		if f, ok := r.cfg.Endpoint.(FaultReporter); ok {
+			r.stats.DroppedFrames, r.stats.DelayedFrames = f.FaultCounts()
+		}
 	}()
+	self := r.cfg.Node.Cfg.ID
 	for e := 0; e < r.cfg.Epochs; e++ {
+		if r.absentAt(self, e) {
+			// Oracle churn: this node is scheduled offline this epoch.
+			// Neighbors neither wait for nor send to it (the symmetric
+			// rules in gatherRound/startShare), so it simply sits the
+			// round out; the trajectory records NaN for the gap.
+			r.stats.RMSE = append(r.stats.RMSE, math.NaN())
+			if r.cfg.OnEpoch != nil {
+				r.cfg.OnEpoch(e, math.NaN())
+			}
+			continue
+		}
 		deg := len(r.neighbors)
 		// --- gather + merge ---
 		t0 := time.Now()
 		var payloads []core.Payload
-		if e > 0 {
+		if e > 0 && !r.absentAt(self, e-1) {
+			// A node absent last epoch gathers nothing: nobody sent to it
+			// (startShare's send rule), exactly as a rejoining simulator
+			// node finds an empty inbox.
 			var err error
-			payloads, err = r.gatherRound()
+			payloads, err = r.gatherRound(e)
 			if err != nil {
 				return fmt.Errorf("epoch %d: %w", e, err)
 			}
@@ -178,7 +237,7 @@ func (r *runner) loop() error {
 		// a background goroutine so they overlap the test stage — the live
 		// analogue of the simulator's ShareParallel cost model.
 		t0 = time.Now()
-		sent, err := r.startShare()
+		sent, err := r.startShare(e)
 		if err != nil {
 			return fmt.Errorf("epoch %d: %w", e, err)
 		}
@@ -198,7 +257,7 @@ func (r *runner) loop() error {
 		r.stats.Wire += res.wire
 		r.stats.BytesOut += res.bytes
 		for _, nb := range res.lost {
-			r.dropPeer(nb)
+			r.notePeerMiss(nb)
 		}
 
 		r.stats.RMSE = append(r.stats.RMSE, rmse)
@@ -278,9 +337,15 @@ type openResult struct {
 // The returned payloads are ordered by ascending neighbor id regardless
 // of arrival or open order — the invariant that keeps learning
 // trajectories deterministic for a fixed seed.
-func (r *runner) gatherRound() ([]core.Payload, error) {
+func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 	need := make(map[int]bool, len(r.neighbors))
 	for _, nb := range r.neighbors {
+		if r.absentAt(nb, e-1) {
+			continue // oracle churn: nb did not run the sending epoch
+		}
+		if r.cfg.SkipExpect != nil && r.cfg.SkipExpect(nb, e-1) {
+			continue // oracle loss: nb's frame was scheduled away
+		}
 		need[nb] = true
 	}
 	workers := goruntime.GOMAXPROCS(0)
@@ -323,13 +388,40 @@ func (r *runner) gatherRound() ([]core.Payload, error) {
 		}
 	}
 
-	// Serve from the ahead-of-time buffer first.
+	// Drain frames already queued before blocking: when pending satisfies
+	// the whole round the receive loop below never runs, and rejoin frames
+	// from dropped peers would otherwise starve in the inbox. Drained
+	// frames are buffered (never dispatched directly) so per-peer FIFO
+	// order through pending is preserved.
+	for drained := false; !drained; {
+		select {
+		case env, ok := <-r.cfg.Endpoint.Inbox():
+			if !ok {
+				drained = true
+				break
+			}
+			if len(env.Data) == 0 || env.Data[0] != kindGossip {
+				break
+			}
+			switch {
+			case r.isNeighbor(env.From):
+				r.bufferPending(env.From, env.Data[1:])
+			case r.cfg.Rejoin && r.isLost(env.From):
+				r.rejoinPeer(env.From, env.Data[1:])
+			}
+		default:
+			drained = true
+		}
+	}
+
+	// Serve from the ahead-of-time buffer.
 	for _, nb := range r.neighbors {
 		if q := r.pending[nb]; len(q) > 0 && need[nb] {
 			dispatch(nb, q[0])
 			r.pending[nb] = q[1:]
 			r.pendingN--
 			delete(need, nb)
+			delete(r.miss, nb)
 		}
 	}
 	var deadline <-chan time.Time
@@ -344,10 +436,13 @@ func (r *runner) gatherRound() ([]core.Payload, error) {
 		case recvClosed:
 			return nil, fmt.Errorf("endpoint closed waiting for %d peers", len(need))
 		case recvTimeout:
-			// Failure detection: everyone still missing is declared dead.
+			// Failure detection: everyone still missing misses the round;
+			// a peer whose consecutive misses exhaust PeerGrace is
+			// declared dead. The round proceeds without the missing
+			// frames either way.
 			for _, nb := range append([]int(nil), r.neighbors...) {
 				if need[nb] {
-					r.dropPeer(nb)
+					r.notePeerMiss(nb)
 					delete(need, nb)
 				}
 			}
@@ -361,8 +456,14 @@ func (r *runner) gatherRound() ([]core.Payload, error) {
 		case need[env.From]:
 			dispatch(env.From, frame)
 			delete(need, env.From)
+			delete(r.miss, env.From)
 		case r.isNeighbor(env.From):
 			r.bufferPending(env.From, frame)
+		case r.cfg.Rejoin && r.isLost(env.From):
+			// A dropped peer's gossip resumed (a healed partition, or our
+			// probes reached it): readmit it. Its frame is buffered for
+			// the next round, which will expect it normally again.
+			r.rejoinPeer(env.From, frame)
 		default:
 			// Gossip from a peer the failure detector already dropped
 			// (it may still be alive and sharing); discard rather than
@@ -377,6 +478,14 @@ func (r *runner) gatherRound() ([]core.Payload, error) {
 	payloads := make([]core.Payload, 0, len(opened))
 	for _, o := range opened {
 		if o.err != nil {
+			if errors.Is(o.err, seccha.ErrReplay) {
+				// A duplicated (or replayed) frame consumed this round's
+				// slot for the peer; discard it and merge without — the
+				// peer's genuine frame is already buffered in pending for
+				// the next round.
+				r.stats.Open += o.dur
+				continue
+			}
 			return nil, fmt.Errorf("peer %d: %w", o.from, o.err)
 		}
 		r.stats.BytesIn += int64(o.bytes)
@@ -399,7 +508,7 @@ func (r *runner) open(slot, from int, frame []byte) openResult {
 			res.err = fmt.Errorf("gossip from unattested peer")
 			return res
 		}
-		pt, err := ch.OpenAppend(r.openScratch[slot][:0], frame)
+		pt, err := ch.OpenSeqAppend(r.openScratch[slot][:0], frame)
 		if err != nil {
 			res.err = err
 			res.dur = time.Since(t0)
@@ -427,8 +536,56 @@ func (r *runner) isNeighbor(id int) bool {
 	return false
 }
 
+// absentAt consults the oracle churn schedule.
+func (r *runner) absentAt(node, epoch int) bool {
+	return r.cfg.Absent != nil && epoch >= 0 && r.cfg.Absent(node, epoch)
+}
+
+// notePeerMiss records one missed round (timeout or send failure) for a
+// neighbor and drops it once its consecutive misses exhaust the grace
+// window. A frame arriving from the peer resets the count.
+func (r *runner) notePeerMiss(nb int) {
+	if r.miss == nil {
+		r.miss = make(map[int]int)
+	}
+	r.miss[nb]++
+	if r.miss[nb] > r.cfg.PeerGrace {
+		r.dropPeer(nb)
+	}
+}
+
+// isLost reports whether id was dropped but remains eligible to rejoin.
+func (r *runner) isLost(id int) bool {
+	for _, nb := range r.lost {
+		if nb == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rejoinPeer readmits a dropped peer whose gossip resumed: back into the
+// (sorted) live set, with the triggering frame buffered for the next
+// round.
+func (r *runner) rejoinPeer(id int, frame []byte) {
+	for i, nb := range r.lost {
+		if nb == id {
+			r.lost = append(r.lost[:i], r.lost[i+1:]...)
+			break
+		}
+	}
+	k := sort.SearchInts(r.neighbors, id)
+	r.neighbors = append(r.neighbors, 0)
+	copy(r.neighbors[k+1:], r.neighbors[k:])
+	r.neighbors[k] = id
+	r.stats.Rejoins++
+	r.bufferPending(id, frame)
+}
+
 // dropPeer removes a failed neighbor from the live set and releases the
-// state held for it (buffered frames, seal scratch).
+// state held for it (buffered frames, seal scratch). With Config.Rejoin
+// the peer is remembered: probes keep flowing and resumed gossip readmits
+// it.
 func (r *runner) dropPeer(id int) {
 	for i, nb := range r.neighbors {
 		if nb == id {
@@ -437,6 +594,10 @@ func (r *runner) dropPeer(id int) {
 			r.pendingN -= len(r.pending[id])
 			delete(r.pending, id)
 			delete(r.sealScratch, id)
+			delete(r.miss, id)
+			if r.cfg.Rejoin {
+				r.lost = append(r.lost, id)
+			}
 			return
 		}
 	}
@@ -456,7 +617,7 @@ type shareResult struct {
 // draws (RMW target pick, REX sampling) and the model serialization stay
 // on the protocol thread — then seals and sends in the background. The
 // returned channel yields exactly one result.
-func (r *runner) startShare() (<-chan shareResult, error) {
+func (r *runner) startShare(e int) (<-chan shareResult, error) {
 	node := r.cfg.Node
 	deg := len(r.neighbors)
 	var targets map[int]bool
@@ -488,18 +649,42 @@ func (r *runner) startShare() (<-chan shareResult, error) {
 		r.plainFull = append(append(r.plainFull[:0], kindGossip), r.encFull...)
 		r.plainEmpty = append(append(r.plainEmpty[:0], kindGossip), r.encEmpty...)
 	}
+	// The send rule under oracle churn: a frame shared at epoch e is
+	// consumed at the receiver's round e+1, so skip neighbors scheduled
+	// absent at either epoch — a frame to an away node would sit stale in
+	// its inbox and desynchronize its gather when it rejoins.
 	neighbors := r.neighbors
+	if r.cfg.Absent != nil {
+		neighbors = make([]int, 0, len(r.neighbors))
+		for _, nb := range r.neighbors {
+			if r.absentAt(nb, e) || r.absentAt(nb, e+1) {
+				continue
+			}
+			neighbors = append(neighbors, nb)
+		}
+	}
+	// Probes: with Rejoin, dropped peers keep receiving empty frames so a
+	// healed partition has traffic to rejoin on from both sides.
+	var probes []int
+	if r.cfg.Rejoin && len(r.lost) > 0 {
+		for _, nb := range r.lost {
+			if !r.absentAt(nb, e) && !r.absentAt(nb, e+1) {
+				probes = append(probes, nb)
+			}
+		}
+	}
 	done := make(chan shareResult, 1)
-	go func() { done <- r.sendShare(neighbors, targets) }()
+	go func() { done <- r.sendShare(neighbors, probes, targets) }()
 	return done, nil
 }
 
 // sendShare seals this epoch's frame for each neighbor — concurrently
 // across neighbors when more than one CPU is available; each per-pair
 // channel is touched by exactly one goroutine — and enqueues them on the
-// transport. Per-peer transport failures are reported as lost peers; only
-// the closure of the node's own endpoint is fatal.
-func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
+// transport. Probes (empty frames to dropped-but-rejoinable peers) ride
+// along with errors ignored. Per-peer transport failures are reported as
+// lost peers; only the closure of the node's own endpoint is fatal.
+func (r *runner) sendShare(neighbors, probes []int, targets map[int]bool) shareResult {
 	start := time.Now()
 	type sendOut struct {
 		buf  []byte
@@ -508,7 +693,11 @@ func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
 		wire time.Duration
 		err  error
 	}
-	outs := make([]sendOut, len(neighbors))
+	all := neighbors
+	if len(probes) > 0 {
+		all = append(append(make([]int, 0, len(neighbors)+len(probes)), neighbors...), probes...)
+	}
+	outs := make([]sendOut, len(all))
 	sendOne := func(i, nb int) {
 		o := &outs[i]
 		body := r.encEmpty
@@ -519,7 +708,7 @@ func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
 		if r.cfg.Secure {
 			t0 := time.Now()
 			buf := append(r.sealScratch[nb][:0], kindGossip)
-			frame = r.channels[nb].SealAppend(buf, body)
+			frame = r.channels[nb].SealSeqAppend(buf, body)
 			o.seal = time.Since(t0)
 			o.buf = frame
 		} else if targets[nb] {
@@ -532,9 +721,9 @@ func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
 		o.err = r.cfg.Endpoint.Send(nb, frame)
 		o.wire = time.Since(t0)
 	}
-	if r.cfg.Secure && len(neighbors) > 1 && goruntime.GOMAXPROCS(0) > 1 {
+	if r.cfg.Secure && len(all) > 1 && goruntime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
-		for i, nb := range neighbors {
+		for i, nb := range all {
 			wg.Add(1)
 			go func(i, nb int) {
 				defer wg.Done()
@@ -543,13 +732,14 @@ func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
 		}
 		wg.Wait()
 	} else {
-		for i, nb := range neighbors {
+		for i, nb := range all {
 			sendOne(i, nb)
 		}
 	}
 	var res shareResult
-	for i, nb := range neighbors {
+	for i, nb := range all {
 		o := outs[i]
+		probe := i >= len(neighbors)
 		if o.buf != nil {
 			r.sealScratch[nb] = o.buf
 		}
@@ -560,6 +750,9 @@ func (r *runner) sendShare(neighbors []int, targets map[int]bool) shareResult {
 			res.bytes += o.n
 		case errors.Is(o.err, errEndpointClosed):
 			res.err = o.err
+		case probe:
+			// A failed probe is expected while the peer is gone; the next
+			// epoch probes again.
 		default:
 			res.lost = append(res.lost, nb)
 		}

@@ -224,6 +224,16 @@ type ShardConfig struct {
 	NewModel func() model.Model
 	// RoundTimeout enables per-round failure detection.
 	RoundTimeout time.Duration
+	// PeerGrace, Rejoin and Absent configure failure-detector grace,
+	// dropped-peer readmission and oracle churn (see Config); WrapEndpoint
+	// wraps each local node's transport (internal/faultnet's injection
+	// hook). Every shard process must be given the same scenario for the
+	// schedule to stay globally consistent.
+	PeerGrace    int
+	Rejoin       bool
+	Absent       func(node, epoch int) bool
+	SkipExpect   func(self, from, epoch int) bool
+	WrapEndpoint func(node int, ep Endpoint) Endpoint
 	// OnEpoch, when set, observes every local node's epochs.
 	OnEpoch func(node, epoch int, rmse float64)
 }
@@ -261,6 +271,9 @@ func RunShard(cfg ShardConfig) (map[int]*Stats, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.WrapEndpoint != nil {
+			ep = cfg.WrapEndpoint(i, ep)
+		}
 		go func(i int, ep Endpoint) {
 			var platform *attest.Platform
 			if cfg.Secure {
@@ -269,6 +282,10 @@ func RunShard(cfg ShardConfig) (map[int]*Stats, error) {
 			var onEpoch func(int, float64)
 			if cfg.OnEpoch != nil {
 				onEpoch = func(e int, rmse float64) { cfg.OnEpoch(i, e, rmse) }
+			}
+			var skip func(from, epoch int) bool
+			if cfg.SkipExpect != nil {
+				skip = func(from, epoch int) bool { return cfg.SkipExpect(i, from, epoch) }
 			}
 			st, err := Run(Config{
 				Node:         cfg.Nodes[i],
@@ -282,6 +299,10 @@ func RunShard(cfg ShardConfig) (map[int]*Stats, error) {
 				NewModel:     cfg.NewModel,
 				OnEpoch:      onEpoch,
 				RoundTimeout: cfg.RoundTimeout,
+				PeerGrace:    cfg.PeerGrace,
+				Rejoin:       cfg.Rejoin,
+				Absent:       cfg.Absent,
+				SkipExpect:   skip,
 			})
 			results <- result{i, st, err}
 		}(i, ep)

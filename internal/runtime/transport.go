@@ -59,6 +59,14 @@ type QueueReporter interface {
 	SendQueueHWM() int
 }
 
+// FaultReporter is an optional Endpoint extension implemented by
+// fault-injecting transport wrappers (internal/faultnet): it reports how
+// many outbound gossip frames the wrapper discarded (drops plus partition
+// cuts) and how many it delayed. The runner copies the counts into Stats.
+type FaultReporter interface {
+	FaultCounts() (dropped, delayed int64)
+}
+
 // ErrPeerClosed reports a send to a peer whose endpoint has shut down.
 // The runner treats it (like any per-peer transport failure) as a peer
 // loss, not a fatal error.

@@ -101,6 +101,14 @@ type Channel struct {
 	initiator bool
 	sendSeq   uint64
 	recvSeq   uint64
+
+	// Explicit-sequence receive window (SealSeq/OpenSeq framing): recvMax
+	// is the highest authenticated sequence accepted so far, recvMask bit
+	// i records whether recvMax-i-1 was seen, and recvAny whether any
+	// frame has been accepted (distinguishes "nothing yet" from seq 0).
+	recvMax  uint64
+	recvMask uint64
+	recvAny  bool
 }
 
 // NewChannel builds a channel from a 32-byte key. Exactly one peer must
@@ -172,6 +180,104 @@ func (c *Channel) OpenAppend(dst, ciphertext []byte) ([]byte, error) {
 // Overhead returns the ciphertext expansion in bytes (the GCM tag).
 func (c *Channel) Overhead() int { return c.aead.Overhead() }
 
+// The strict Seal/Open pairing above assumes perfectly reliable in-order
+// delivery: one lost frame desynchronizes the implicit nonce sequence and
+// every later Open fails. The SealSeq/OpenSeq pairing below instead ships
+// the sequence number explicitly (8 bytes, big-endian, ahead of the
+// ciphertext) and accepts frames through a sliding anti-replay window —
+// the DTLS/IPsec discipline — so a lossy, reordering or duplicating link
+// (or a fault-injection harness standing in for one) degrades gossip
+// instead of killing the channel. A channel must use one pairing or the
+// other for its whole life; both directions' nonce spaces are shared with
+// the strict API.
+
+// SeqOverhead is the framing overhead of SealSeq beyond Seal: the explicit
+// sequence number.
+const SeqOverhead = 8
+
+// ErrReplay reports a frame whose sequence was already accepted or has
+// fallen behind the replay window — a duplicated (or maliciously replayed)
+// message. Receivers discard such frames and keep the channel alive.
+var ErrReplay = errors.New("seccha: duplicate or stale sequence")
+
+// replayWindow is how far behind the highest accepted sequence a late
+// frame may arrive: recvMask tracks the 64 sequences below recvMax.
+const replayWindow = 64
+
+// SealSeqAppend encrypts plaintext into an explicit-sequence frame
+// appended to dst (which may be nil or a reused buffer; it must not alias
+// plaintext) and returns the extended slice.
+func (c *Channel) SealSeqAppend(dst, plaintext []byte) []byte {
+	var seqb [SeqOverhead]byte
+	binary.BigEndian.PutUint64(seqb[:], c.sendSeq)
+	dst = append(dst, seqb[:]...)
+	dst = c.aead.Seal(dst, c.nonce(c.sendSeq, true), plaintext, nil)
+	c.sendSeq++
+	return dst
+}
+
+// OpenSeqAppend authenticates and decrypts an explicit-sequence frame,
+// appending the plaintext to dst (which must not alias frame) and
+// returning the extended slice. A tampered frame (including a forged
+// sequence, which derives the wrong nonce) fails with ErrAuth; an already
+// seen or too-old sequence fails with ErrReplay. The window advances only
+// on successful authentication.
+func (c *Channel) OpenSeqAppend(dst, frame []byte) ([]byte, error) {
+	if len(frame) < SeqOverhead {
+		return nil, ErrAuth
+	}
+	seq := binary.BigEndian.Uint64(frame[:SeqOverhead])
+	if !c.seqFresh(seq) {
+		return nil, ErrReplay
+	}
+	pt, err := c.aead.Open(dst, c.nonce(seq, false), frame[SeqOverhead:], nil)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	c.seqMark(seq)
+	return pt, nil
+}
+
+// seqFresh reports whether seq has neither been accepted nor aged out.
+func (c *Channel) seqFresh(seq uint64) bool {
+	if !c.recvAny || seq > c.recvMax {
+		return true
+	}
+	if seq == c.recvMax {
+		return false
+	}
+	behind := c.recvMax - seq
+	if behind > replayWindow {
+		return false
+	}
+	return c.recvMask&(1<<(behind-1)) == 0
+}
+
+// seqMark records an accepted sequence.
+func (c *Channel) seqMark(seq uint64) {
+	if !c.recvAny {
+		c.recvAny = true
+		c.recvMax = seq
+		c.recvMask = 0
+		return
+	}
+	if seq > c.recvMax {
+		shift := seq - c.recvMax
+		if shift > replayWindow {
+			// The whole previous window aged out of representability.
+			c.recvMask = 0
+		} else {
+			// shift == replayWindow is fine: Go defines x<<64 as 0, and
+			// bit shift-1 records the old recvMax at the window's edge —
+			// zeroing here instead would let that frame replay once.
+			c.recvMask = c.recvMask<<shift | 1<<(shift-1)
+		}
+		c.recvMax = seq
+		return
+	}
+	c.recvMask |= 1 << (c.recvMax - seq - 1)
+}
+
 // Rekey ratchets the channel onto a fresh key derived from the current
 // one via HKDF, resetting both sequence counters. Long-lived REX sessions
 // rekey periodically so the nonce space never nears exhaustion and old
@@ -190,6 +296,7 @@ func (c *Channel) Rekey(currentKeyHint []byte) error {
 	c.aead = aead
 	c.sendSeq = 0
 	c.recvSeq = 0
+	c.recvMax, c.recvMask, c.recvAny = 0, 0, false
 	// Zero the caller's copy of the retired key material.
 	for i := range currentKeyHint {
 		currentKeyHint[i] = 0

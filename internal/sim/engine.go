@@ -7,6 +7,7 @@ import (
 	"rex/internal/core"
 	"rex/internal/dataset"
 	"rex/internal/enclave"
+	"rex/internal/faultnet"
 	"rex/internal/model"
 )
 
@@ -27,6 +28,11 @@ type engine struct {
 	cumBytes []float64 // in+out per node, cumulative
 	alive    []bool
 	peakHeap []int64
+	// deferred holds reorder-faulted messages for one extra barrier: a
+	// message staged at epoch e normally joins inbox at the epoch-e
+	// barrier (consumed at e+1); a reordered one joins at the e+1 barrier
+	// instead (consumed at e+2, alongside that epoch's message).
+	deferred [][]message
 
 	// Per-epoch scratch, reused across epochs. results[i] is written only
 	// by the worker stepping node i; rmse/rmseOK likewise.
@@ -47,12 +53,18 @@ type nodeResult struct {
 	stage StageTimes
 	bytes float64 // in+out traffic this epoch
 	out   []delivery
+	// events are this node's injected faults, folded into the run log in
+	// node-index order at the barrier so the log is deterministic for any
+	// Workers count.
+	events []faultnet.Event
 }
 
 // delivery is one staged message awaiting the epoch barrier.
 type delivery struct {
 	to  int
 	msg message
+	// deferred marks a reorder-faulted message that skips one barrier.
+	deferred bool
 }
 
 // Run executes the configured network and returns its metrics. The run is
@@ -78,6 +90,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Compute.SecPerFlop == 0 {
 		cfg.Compute.SecPerFlop = 1e-9
 	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	eng := newEngine(cfg, n)
 	defer eng.pool.close()
@@ -101,6 +118,7 @@ func newEngine(cfg Config, n int) *engine {
 		cumBytes:   make([]float64, n),
 		alive:      make([]bool, n),
 		peakHeap:   make([]int64, n),
+		deferred:   make([][]message, n),
 		results:    make([]nodeResult, n),
 		rmse:       make([]float64, n),
 		rmseOK:     make([]bool, n),
@@ -140,6 +158,26 @@ func newEngine(cfg Config, n int) *engine {
 // finish assembles the Result after the last epoch.
 func (eng *engine) finish() *Result {
 	res := eng.res
+	faultnet.SortEvents(res.FaultLog)
+	for _, ev := range res.FaultLog {
+		switch ev.Kind {
+		case faultnet.KindDrop:
+			res.Faults.Dropped++
+		case faultnet.KindDelay:
+			res.Faults.Delayed++
+		case faultnet.KindDuplicate:
+			res.Faults.Duplicated++
+		case faultnet.KindReorder:
+			res.Faults.Reordered++
+		case faultnet.KindPartition:
+			res.Faults.PartitionDrops++
+			res.Faults.Dropped++
+		case faultnet.KindLeave:
+			res.Faults.Leaves++
+		case faultnet.KindRejoin:
+			res.Faults.Rejoins++
+		}
+	}
 	last := res.Series[len(res.Series)-1]
 	res.TotalTimeMean = last.TimeMean
 	res.TotalTimeMax = last.TimeMax

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"rex/internal/core"
+	"rex/internal/faultnet"
 	"rex/internal/gossip"
 	"rex/internal/topology"
 )
@@ -31,6 +32,26 @@ func (eng *engine) runEpoch(e int) {
 			eng.res.FailedNodes++
 		}
 	}
+	// Scenario churn: scheduled leaves and rejoins (FailAt generalized).
+	// A rejoining node resumes with the state it left with and an empty
+	// inbox; the arrival barrier catches its clock up naturally.
+	if sc := cfg.Scenario; sc != nil {
+		for _, c := range sc.Churn {
+			if c.Node < 0 || c.Node >= n {
+				continue
+			}
+			if c.Leave == e && eng.alive[c.Node] {
+				eng.alive[c.Node] = false
+				eng.res.FaultLog = append(eng.res.FaultLog,
+					faultnet.Event{Epoch: e, From: c.Node, To: c.Node, Kind: faultnet.KindLeave})
+			}
+			if c.Rejoin == e && c.Rejoin > c.Leave && !eng.alive[c.Node] {
+				eng.alive[c.Node] = true
+				eng.res.FaultLog = append(eng.res.FaultLog,
+					faultnet.Event{Epoch: e, From: c.Node, To: c.Node, Kind: faultnet.KindRejoin})
+			}
+		}
+	}
 
 	// --- parallel section: step every node against the previous epoch's
 	// inboxes. A worker writes only results[i] and node-i state; payload
@@ -40,7 +61,16 @@ func (eng *engine) runEpoch(e int) {
 	})
 
 	// --- epoch barrier: deliver staged messages and fold accounting, both
-	// in node-index order.
+	// in node-index order. Reorder-deferred messages stashed at the
+	// previous barrier join first — they are older traffic, delivered one
+	// epoch late — then this epoch's deliveries (with its own deferred
+	// messages stashed for the next barrier).
+	for i := 0; i < n; i++ {
+		if len(eng.deferred[i]) > 0 {
+			eng.inbox[i] = append(eng.inbox[i], eng.deferred[i]...)
+			eng.deferred[i] = eng.deferred[i][:0]
+		}
+	}
 	var epochStage StageTimes
 	var epochBytes float64
 	aliveCnt := 0
@@ -52,9 +82,17 @@ func (eng *engine) runEpoch(e int) {
 		epochStage = epochStage.add(r.stage)
 		epochBytes += r.bytes
 		for _, d := range r.out {
-			eng.inbox[d.to] = append(eng.inbox[d.to], d.msg)
+			if d.deferred {
+				eng.deferred[d.to] = append(eng.deferred[d.to], d.msg)
+			} else {
+				eng.inbox[d.to] = append(eng.inbox[d.to], d.msg)
+			}
 		}
 		r.out = nil
+		if len(r.events) > 0 {
+			eng.res.FaultLog = append(eng.res.FaultLog, r.events...)
+			r.events = nil
+		}
 	}
 
 	// --- record epoch stats ---
@@ -144,6 +182,23 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	}
 	st := node.Merge(payloads, deg)
 	var mergeFlops float64
+	// Cost model for faulted-away traffic: when a message this node
+	// expected was dropped (drop fault or partition cut) or deferred to
+	// the next barrier (reorder), the live runtime's gather waits out its
+	// round timeout before proceeding; charge that wait once per such
+	// round as part of the merge stage.
+	var timeoutT float64
+	if sc := cfg.Scenario; sc != nil && sc.TimeoutMs > 0 && e > 0 {
+		for _, j := range graph.Neighbors(i) {
+			if sc.Absent(j, e-1) || !eng.alive[j] {
+				continue // oracle churn/crash: nothing was expected
+			}
+			if sc.DropAt(j, i, e-1) || sc.Partitioned(j, i, e-1) || sc.ReorderAt(j, i, e-1) {
+				timeoutT = float64(sc.TimeoutMs) / 1e3
+				break
+			}
+		}
+	}
 	if cfg.Mode == core.ModelSharing {
 		for _, p := range payloads {
 			if p.Model != nil {
@@ -153,7 +208,7 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	} else {
 		mergeFlops = float64(st.PointsAppended+st.PointsDuplicate) * cp.AppendFlopsPerPoint
 	}
-	mergeT := mergeFlops * eng.secPerFlop * enc.MemFactor()
+	mergeT := mergeFlops*eng.secPerFlop*enc.MemFactor() + timeoutT
 	// Receiving under SGX: one ecall plus traffic decryption per message.
 	for _, m := range inputs {
 		mergeT += enc.ECall(m.bytes).Seconds() + enc.CryptoTime(m.bytes).Seconds()
@@ -167,6 +222,7 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	// RMW, everyone under D-PSGD); all remaining neighbors receive an
 	// empty notification that keeps the barrier advancing.
 	var out []delivery
+	var events []faultnet.Event
 	neighbors := graph.Neighbors(i)
 	payloadTo := gossip.Targets(cfg.Algo, graph, i, node.RNG())
 	isPayload := make(map[int]bool, len(payloadTo))
@@ -198,6 +254,7 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 			// share cost itself rides the wire path.
 			sendDone = start + mergeT + shareT
 		}
+		sc := cfg.Scenario
 		out = make([]delivery, 0, len(neighbors))
 		for _, t := range neighbors {
 			if !eng.alive[t] {
@@ -207,11 +264,41 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 			if isPayload[t] {
 				pl, w = payload, wire
 			}
-			out = append(out, delivery{to: t, msg: message{
+			msg := message{
 				payload: pl,
 				arrival: sendDone + cfg.Net.LatencySec + float64(w)/cfg.Net.BandwidthBps,
 				bytes:   w,
-			}})
+			}
+			if sc == nil {
+				out = append(out, delivery{to: t, msg: msg})
+				continue
+			}
+			// Wire faults, in the same order the live wrapper applies
+			// them: partition cut, drop, delay, reorder, duplicate. Events
+			// go into the node's result and are folded in node-index
+			// order at the barrier, keeping the log deterministic for any
+			// Workers count.
+			if sc.Partitioned(i, t, e) {
+				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindPartition})
+				continue
+			}
+			if sc.DropAt(i, t, e) {
+				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDrop})
+				continue
+			}
+			if d, ok := sc.DelayAt(i, t, e); ok {
+				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDelay})
+				msg.arrival += d.Seconds()
+			}
+			deferred := sc.ReorderAt(i, t, e)
+			if deferred {
+				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindReorder})
+			}
+			out = append(out, delivery{to: t, msg: msg, deferred: deferred})
+			if sc.DuplicateAt(i, t, e) {
+				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDuplicate})
+				out = append(out, delivery{to: t, msg: msg, deferred: deferred})
+			}
 		}
 	}
 
@@ -247,8 +334,9 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	}
 
 	return nodeResult{
-		stage: StageTimes{mergeT, trainT, shareT, testT},
-		bytes: float64(inBytes + outBytes),
-		out:   out,
+		stage:  StageTimes{mergeT, trainT, shareT, testT},
+		bytes:  float64(inBytes + outBytes),
+		out:    out,
+		events: events,
 	}
 }

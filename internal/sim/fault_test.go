@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/faultnet"
+	"rex/internal/gossip"
+)
+
+// chaosConfig is the sim fault-injection workload: every wire fault plus
+// churn, over the small-world D-PSGD REX setup.
+func chaosConfig(t testing.TB) Config {
+	t.Helper()
+	cfg := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	cfg.Epochs = 12
+	cfg.Scenario = &faultnet.Scenario{
+		Name: "sim-chaos", Seed: 7, Epochs: 12,
+		Drop: 0.05, Delay: 0.2, DelayMs: 3, DelayJitterMs: 9,
+		Duplicate: 0.05, Reorder: 0.05,
+		Partitions: []faultnet.Partition{{From: 4, Until: 6, Groups: [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}}},
+		Churn:      []faultnet.Churn{{Node: 2, Leave: 3, Rejoin: 7}},
+		TimeoutMs:  500,
+	}
+	return cfg
+}
+
+// TestScenarioReplayDeterministicSim is the simulator leg of the replay
+// acceptance: the same (seed, spec) produces bit-identical per-epoch RMSE
+// and an identical fault-event log, run after run and for any worker
+// count.
+func TestScenarioReplayDeterministicSim(t *testing.T) {
+	run := func(workers int) *Result {
+		cfg := chaosConfig(t)
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, par := run(1), run(1), run(4)
+	if len(a.FaultLog) == 0 {
+		t.Fatal("chaos scenario injected nothing")
+	}
+	for _, other := range []*Result{b, par} {
+		if len(a.Series) != len(other.Series) {
+			t.Fatal("series length diverged")
+		}
+		for e := range a.Series {
+			if math.Float64bits(a.Series[e].MeanRMSE) != math.Float64bits(other.Series[e].MeanRMSE) {
+				t.Fatalf("epoch %d RMSE diverged: %v vs %v", e, a.Series[e].MeanRMSE, other.Series[e].MeanRMSE)
+			}
+			if a.Series[e].TimeMean != other.Series[e].TimeMean {
+				t.Fatalf("epoch %d virtual time diverged", e)
+			}
+		}
+		if !reflect.DeepEqual(a.FaultLog, other.FaultLog) {
+			t.Fatal("fault logs diverged between identical runs")
+		}
+	}
+	if a.Faults.Dropped == 0 || a.Faults.Delayed == 0 || a.Faults.Duplicated == 0 ||
+		a.Faults.Reordered == 0 || a.Faults.PartitionDrops == 0 ||
+		a.Faults.Leaves != 1 || a.Faults.Rejoins != 1 {
+		t.Fatalf("fault counts incomplete: %+v", a.Faults)
+	}
+}
+
+// TestScenarioNilIsNoop: a nil scenario must leave trajectories exactly as
+// before the chaos harness existed (bit-identical to an explicit zero-less
+// config).
+func TestScenarioNilIsNoop(t *testing.T) {
+	cfg := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	cfg.Epochs = 8
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	cfg2.Epochs = 8
+	cfg2.Scenario = &faultnet.Scenario{Name: "empty", Seed: 123, Epochs: 8}
+	empty, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range base.Series {
+		if math.Float64bits(base.Series[e].MeanRMSE) != math.Float64bits(empty.Series[e].MeanRMSE) {
+			t.Fatalf("empty scenario changed epoch %d RMSE", e)
+		}
+	}
+	if len(empty.FaultLog) != 0 {
+		t.Fatalf("empty scenario logged %d events", len(empty.FaultLog))
+	}
+}
+
+// TestScenarioDropLosesTraffic: dropped frames reduce delivered traffic
+// relative to the fault-free run but convergence survives modest loss.
+func TestScenarioDropLosesTraffic(t *testing.T) {
+	clean := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	clean.Epochs = 15
+	base, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	lossy.Epochs = 15
+	lossy.Scenario = &faultnet.Scenario{Name: "lossy", Seed: 5, Epochs: 15, Drop: 0.15}
+	dropped, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Faults.Dropped == 0 {
+		t.Fatal("no drops injected")
+	}
+	if dropped.BytesPerNode >= base.BytesPerNode {
+		t.Fatalf("drops did not reduce traffic: %.0f vs %.0f", dropped.BytesPerNode, base.BytesPerNode)
+	}
+	// Convergence envelope: a 15% loss rate costs accuracy but not
+	// convergence — the surviving gossip keeps learning within 15% of the
+	// fault-free error.
+	if dropped.FinalRMSE > base.FinalRMSE*1.15 {
+		t.Fatalf("lossy run diverged: %.4f vs fault-free %.4f", dropped.FinalRMSE, base.FinalRMSE)
+	}
+}
+
+// TestScenarioTimeoutChargesVirtualTime: with TimeoutMs set, rounds that
+// lost an expected message charge the failure detector's wait.
+func TestScenarioTimeoutChargesVirtualTime(t *testing.T) {
+	mk := func(timeoutMs int) *Result {
+		cfg := smallConfig(t, core.DataSharing, gossip.DPSGD)
+		cfg.Epochs = 10
+		cfg.Scenario = &faultnet.Scenario{Name: "t", Seed: 5, Epochs: 10, Drop: 0.2, TimeoutMs: timeoutMs}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free, charged := mk(0), mk(800)
+	if charged.TotalTimeMean <= free.TotalTimeMean {
+		t.Fatalf("timeout charge missing: %.3f vs %.3f", charged.TotalTimeMean, free.TotalTimeMean)
+	}
+	// Learning is unaffected by the cost model: bit-identical RMSE.
+	for e := range free.Series {
+		if math.Float64bits(free.Series[e].MeanRMSE) != math.Float64bits(charged.Series[e].MeanRMSE) {
+			t.Fatal("timeout charge changed learning")
+		}
+	}
+}
+
+// TestScenarioChurnGeneralizesFailAt: a permanent churn entry behaves like
+// FailAt — bit-identical trajectories — and a temporary one brings the
+// node back.
+func TestScenarioChurnGeneralizesFailAt(t *testing.T) {
+	viaFail := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	viaFail.Epochs = 10
+	viaFail.FailAt = map[int]int{3: 4}
+	a, err := Run(viaFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaChurn := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	viaChurn.Epochs = 10
+	viaChurn.Scenario = &faultnet.Scenario{Name: "perm", Seed: 1, Epochs: 10,
+		Churn: []faultnet.Churn{{Node: 3, Leave: 4}}} // no rejoin: permanent
+	b, err := Run(viaChurn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range a.Series {
+		if math.Float64bits(a.Series[e].MeanRMSE) != math.Float64bits(b.Series[e].MeanRMSE) {
+			t.Fatalf("permanent churn != FailAt at epoch %d", e)
+		}
+	}
+	if b.Faults.Leaves != 1 || b.Faults.Rejoins != 0 {
+		t.Fatalf("counts %+v", b.Faults)
+	}
+
+	// Temporary churn: the node rejoins and the final mean RMSE improves
+	// over the permanent-crash run (one more learner back in the mesh).
+	viaRejoin := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	viaRejoin.Epochs = 10
+	viaRejoin.Scenario = &faultnet.Scenario{Name: "temp", Seed: 1, Epochs: 10,
+		Churn: []faultnet.Churn{{Node: 3, Leave: 4, Rejoin: 6}}}
+	c, err := Run(viaRejoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Faults.Leaves != 1 || c.Faults.Rejoins != 1 {
+		t.Fatalf("temp churn counts %+v", c.Faults)
+	}
+	if math.IsNaN(c.FinalRMSE) || c.FinalRMSE <= 0 {
+		t.Fatalf("rejoin run RMSE %v", c.FinalRMSE)
+	}
+}
+
+// TestScenarioPartitionCutsCrossTraffic: during the split no cross-group
+// messages land, and the log attributes the cuts to the partition kind.
+func TestScenarioPartitionCutsCrossTraffic(t *testing.T) {
+	cfg := smallConfig(t, core.DataSharing, gossip.DPSGD)
+	cfg.Epochs = 8
+	half := make([]int, 0, 12)
+	rest := make([]int, 0, 12)
+	for i := 0; i < cfg.Graph.N(); i++ {
+		if i < 12 {
+			half = append(half, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	cfg.Scenario = &faultnet.Scenario{Name: "split", Seed: 2, Epochs: 8,
+		Partitions: []faultnet.Partition{{From: 2, Until: 5, Groups: [][]int{half, rest}}}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.PartitionDrops == 0 {
+		t.Fatal("no partition cuts recorded")
+	}
+	for _, ev := range res.FaultLog {
+		if ev.Kind != faultnet.KindPartition {
+			t.Fatalf("unexpected event kind %q", ev.Kind)
+		}
+		if ev.Epoch < 2 || ev.Epoch >= 5 {
+			t.Fatalf("cut outside the window: %+v", ev)
+		}
+		if (ev.From < 12) == (ev.To < 12) {
+			t.Fatalf("intra-group edge cut: %+v", ev)
+		}
+	}
+}

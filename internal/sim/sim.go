@@ -6,6 +6,7 @@ import (
 	"rex/internal/core"
 	"rex/internal/dataset"
 	"rex/internal/enclave"
+	"rex/internal/faultnet"
 	"rex/internal/gossip"
 	"rex/internal/model"
 	"rex/internal/topology"
@@ -52,6 +53,17 @@ type Config struct {
 	// Byzantine marks nodes that poison their shared payloads (§IV-E-c:
 	// attestation cannot stop poisoned *input data*).
 	Byzantine map[int]bool
+	// Scenario injects the epoch-level equivalents of the faultnet wire
+	// faults: per-edge message drop, delay (virtual seconds added to the
+	// arrival), duplication (the copy merges in the same barrier) and
+	// reorder (the message joins the next barrier instead), scheduled
+	// partitions, and leave/rejoin churn (generalizing FailAt, which
+	// remains the permanent-crash special case). Every decision is a pure
+	// function of (Scenario.Seed, edge, epoch), so runs stay bit-identical
+	// for any Workers count, and Scenario.TimeoutMs charges the live
+	// runtime's round-timeout wait whenever an expected message was
+	// faulted away. Nil injects nothing.
+	Scenario *faultnet.Scenario
 
 	// NewModel constructs node i's initial model. All nodes must start
 	// from identical parameters (attestation guarantees identical code),
@@ -146,6 +158,12 @@ type Result struct {
 	Attestations int
 	// FailedNodes counts nodes that crashed during the run.
 	FailedNodes int
+	// Faults aggregates injected scenario faults; FaultLog lists every
+	// injection in canonical order — two runs of the same (Config, seed)
+	// produce identical logs, which the scenario conformance suite
+	// asserts.
+	Faults   faultnet.Counts
+	FaultLog []faultnet.Event
 	// Models/Stores hold each node's final model and raw-data store when
 	// Config.KeepState is set (nil otherwise).
 	Models []model.Model
