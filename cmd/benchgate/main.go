@@ -1,0 +1,141 @@
+// benchgate is the CI bench-regression gate for the vec kernel layer. It
+// compares two `go test -bench` outputs from the SAME machine — one forced
+// onto the portable Go kernels (REX_VEC=go), one on the dispatched SIMD
+// path — and fails if any gated benchmark's measured speedup falls more
+// than the baseline tolerance below the ratio recorded in BENCH_vec.json.
+//
+// Gating on the speedup *ratio* rather than absolute ns/op is deliberate:
+// CI runners vary wildly in clock speed and contention, so an absolute
+// ceiling either flakes or is too loose to catch anything. The ratio of
+// two interleaved runs on the same box cancels the machine out and
+// isolates exactly what this repo controls — the quality of the SIMD
+// kernels relative to the reference loops.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -count 3 ./internal/vec .  (REX_VEC=go)   > slow.txt
+//	go test -run '^$' -bench ... -count 3 ./internal/vec .  (dispatched)   > fast.txt
+//	go run ./cmd/benchgate -baseline BENCH_vec.json -slow slow.txt -fast fast.txt
+//
+// The minimum ns/op across -count repetitions is used on both sides,
+// which discards scheduler hiccups instead of averaging them in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Note      string   `json:"note"`
+	Recorded  string   `json:"recorded"`
+	Tolerance float64  `json:"tolerance"`
+	Kernels   []kernel `json:"kernels"`
+}
+
+type kernel struct {
+	Bench string `json:"bench"`
+	// Recorded ns/op per forced path on the reference machine —
+	// documentation of the before/after, not used by the gate.
+	GoNs   float64 `json:"go_ns"`
+	SSE2Ns float64 `json:"sse2_ns,omitempty"`
+	AVX2Ns float64 `json:"avx2_ns"`
+	// MinSpeedup is the gated floor: dispatched-path speedup over the
+	// forced-go path must stay above MinSpeedup*(1-Tolerance).
+	MinSpeedup float64 `json:"min_speedup_vs_go"`
+	Gate       bool    `json:"gate"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+?)?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench returns the minimum ns/op per benchmark name (CPU-count
+// suffix stripped) across all repetitions in a `go test -bench` output.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_vec.json", "baseline JSON with gated speedup floors")
+	slowPath := flag.String("slow", "", "bench output of the REX_VEC=go run")
+	fastPath := flag.String("fast", "", "bench output of the dispatched run")
+	flag.Parse()
+	if *slowPath == "" || *fastPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -slow and -fast are required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
+	}
+	slow, err := parseBench(*slowPath)
+	if err != nil {
+		fatal(err)
+	}
+	fast, err := parseBench(*fastPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	fmt.Printf("%-34s %12s %12s %9s %9s  %s\n", "benchmark", "go ns/op", "simd ns/op", "speedup", "floor", "verdict")
+	for _, k := range base.Kernels {
+		s, okS := slow[k.Bench]
+		f, okF := fast[k.Bench]
+		if !okS || !okF {
+			if k.Gate {
+				fmt.Printf("%-34s missing from bench output (slow=%v fast=%v)\n", k.Bench, okS, okF)
+				failed = true
+			}
+			continue
+		}
+		speedup := s / f
+		floor := k.MinSpeedup * (1 - base.Tolerance)
+		verdict := "ok"
+		if !k.Gate {
+			verdict = "recorded (ungated)"
+		} else if speedup < floor {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-34s %12.2f %12.2f %8.2fx %8.2fx  %s\n", k.Bench, s, f, speedup, floor, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: SIMD speedup regressed below the recorded baseline")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

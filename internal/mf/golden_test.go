@@ -8,6 +8,7 @@ import (
 
 	"rex/internal/dataset"
 	"rex/internal/model"
+	"rex/internal/vec"
 )
 
 // goldenRatings builds a fixed synthetic workload, self-contained so the
@@ -41,6 +42,34 @@ func modelDigest(t *testing.T, m *Model) string {
 // reproduce the same weighted union, and Marshal the same canonical bytes.
 // Any change to these hashes is a results change and must be owned loudly.
 func TestGoldenTrajectory(t *testing.T) {
+	runGoldenTrajectory(t)
+}
+
+// TestGoldenTrajectoryEveryVecImpl re-pins the exact same hashes with
+// dispatch forced onto each kernel implementation this machine offers
+// (avx2/sse2/neon/go): the SIMD paths must reproduce the scalar
+// trajectory bit for bit, not merely converge to similar RMSE. The CI
+// forced-path sweep additionally runs the whole suite under each REX_VEC
+// value, and the arm64 job runs this test on real NEON hardware.
+func TestGoldenTrajectoryEveryVecImpl(t *testing.T) {
+	prev := vec.Impl()
+	defer func() {
+		if err := vec.Use(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, name := range vec.Available() {
+		t.Run(name, func(t *testing.T) {
+			if err := vec.Use(name); err != nil {
+				t.Fatal(err)
+			}
+			runGoldenTrajectory(t)
+		})
+	}
+}
+
+func runGoldenTrajectory(t *testing.T) {
+	t.Helper()
 	data := goldenRatings(42, 4000)
 	dataB := goldenRatings(43, 4000)
 

@@ -96,7 +96,14 @@ func (t *table) vec(id int) []float32 {
 			h ^= h >> 7
 			h ^= h << 17
 			// Uniform in [-sqrt(3), sqrt(3)) * std has variance std^2.
-			u := float32(h>>11)/float32(1<<53)*2 - 1
+			// Spelled /2^52 rather than the equivalent /2^53*2: powers of
+			// two make the two forms bit-identical, but the *2 form gave
+			// the arm64 compiler a multiply to contract into the -1 (an
+			// FMA skips the intermediate rounding), which would give init
+			// embeddings different bits than the amd64-recorded golden
+			// trajectories — a division cannot be contracted (see
+			// internal/vec's package doc).
+			u := float32(h>>11)/float32(1<<52) - 1
 			row[d] = u * 1.7320508 * t.initStd
 		}
 		t.present[id] = true
@@ -341,7 +348,9 @@ func mergeTables(dst *table, selfW float32, srcs []*table, ws []float32) {
 			}
 			w := ws[si] / wsum
 			vec.AddScaled(drow, s.f[id*k:(id+1)*k], w)
-			bias += w * s.b[id]
+			// float32(...) bars FMA contraction on arm64 (golden merge
+			// hashes are recorded on amd64 — see internal/vec's doc).
+			bias += float32(w * s.b[id])
 		}
 		dst.b[id] = bias
 	}

@@ -120,7 +120,10 @@ func clampedSqErr(pred, want float32) float64 {
 		p = 5.0
 	}
 	d := p - float64(want)
-	return d * d
+	// float64(...) bars FMA contraction of d*d into the caller's `se +=`
+	// after inlining on arm64, keeping reported RMSE identical across
+	// architectures (see internal/vec's package doc).
+	return float64(d * d)
 }
 
 // MarshaledSize returns the wire size of the model's serialization,

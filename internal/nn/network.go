@@ -222,7 +222,10 @@ func (n *Net) MergeWeighted(selfW float64, others []model.Weighted) {
 		for _, s := range srcs {
 			sp := s.n.params[pi]
 			for i, v := range sp.W {
-				acc[i] += s.w * float64(v)
+				// float64(...) bars FMA contraction on arm64 so a merge
+				// of given models accumulates the same bits on every
+				// arch (see internal/vec's package doc).
+				acc[i] += float64(s.w * float64(v))
 			}
 		}
 		for i := range p.W {

@@ -1,0 +1,68 @@
+package nn_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rex/internal/dataset"
+	"rex/internal/nn"
+	"rex/internal/vec"
+)
+
+// TestTrainingTrajectoryEveryVecImpl trains the same small network from
+// the same seed under every kernel implementation this machine offers and
+// requires bitwise-identical parameters: the DNN hot path (linear layers
+// via Axpy, Adam via the fused kernel) must not drift by a single bit
+// when dispatch picks AVX2/SSE2/NEON over the portable loops. The arm64
+// CI job runs this on real NEON hardware.
+func TestTrainingTrajectoryEveryVecImpl(t *testing.T) {
+	prev := vec.Impl()
+	defer func() {
+		if err := vec.Use(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	const users, items = 25, 60
+	rng := rand.New(rand.NewSource(31))
+	data := make([]dataset.Rating, 300)
+	for i := range data {
+		data[i] = dataset.Rating{
+			User:  uint32(rng.Intn(users)),
+			Item:  uint32(rng.Intn(items)),
+			Value: float32(rng.Intn(9)+1) / 2,
+		}
+	}
+
+	train := func() []byte {
+		cfg := nn.DefaultConfig(users, items)
+		cfg.EmbDim = 6
+		cfg.Hidden = []int{12, 6}
+		cfg.BatchSize = 16
+		net := nn.NewNet(cfg)
+		net.Train(data, 80, rand.New(rand.NewSource(7)))
+		buf, err := net.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	impls := vec.Available()
+	want := []byte(nil)
+	for _, name := range impls {
+		if err := vec.Use(name); err != nil {
+			t.Fatal(err)
+		}
+		got := train()
+		if want == nil {
+			want = got // first impl (best available) is the comparison base
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("impl %q produced a different trajectory than %q (%d vs %d bytes, contents differ)",
+				name, impls[0], len(got), len(want))
+		}
+	}
+}

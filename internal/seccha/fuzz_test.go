@@ -1,0 +1,94 @@
+package seccha
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzKey is the fixed 32-byte channel key for the fuzz corpus: frames in
+// testdata/fuzz were sealed under it, so the fuzzer starts from inputs
+// that actually authenticate (mutations then explore the reject paths).
+func fuzzKey() []byte {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	return key
+}
+
+// FuzzOpenSeqAppend throws arbitrary frames at the explicit-sequence
+// decryption path — the bytes every gossip receiver accepts from a lossy,
+// reordering, duplicating (or malicious) link since the chaos harness
+// landed. Whatever the input:
+//   - OpenSeqAppend must never panic and must fail with ErrAuth or
+//     ErrReplay, never anything else;
+//   - a frame that authenticates must be rejected as a replay when fed
+//     again (the anti-replay window must advance);
+//   - the channel must stay usable afterwards: a later in-window sequence
+//     from the legitimate sender must still open (a hostile frame may
+//     degrade gossip but must not kill the channel).
+func FuzzOpenSeqAppend(f *testing.F) {
+	key := fuzzKey()
+	sender, err := NewChannel(key, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	frame0 := sender.SealSeqAppend(nil, []byte("epoch-0 share"))
+	frame1 := sender.SealSeqAppend(nil, []byte("epoch-1 share"))
+
+	f.Add(frame0)                 // valid frame, seq 0 (body replays it too)
+	f.Add(frame1)                 // valid frame, seq 1 (out-of-order arrival)
+	f.Add(frame0[:SeqOverhead-3]) // truncated below the sequence header
+	f.Add(frame1[:SeqOverhead+3]) // truncated mid-ciphertext
+	forged := append([]byte(nil), frame1...)
+	forged[SeqOverhead-1] ^= 0x01 // seq rewritten after sealing: wrong nonce
+	f.Add(forged)
+	f.Add([]byte{})                       // empty
+	f.Add(bytes.Repeat([]byte{0xA5}, 64)) // garbage
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recv, err := NewChannel(key, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := recv.OpenSeqAppend(nil, b)
+		switch {
+		case err == nil:
+			if len(b) < SeqOverhead {
+				t.Fatalf("opened a %d-byte frame shorter than the sequence header", len(b))
+			}
+			// The exact same frame must now be a replay, and the failed
+			// open must not grow the plaintext.
+			pt2, err2 := recv.OpenSeqAppend(nil, b)
+			if !errors.Is(err2, ErrReplay) {
+				t.Fatalf("replay of an accepted frame: got (%v, %v), want ErrReplay", pt2, err2)
+			}
+			_ = pt
+		case errors.Is(err, ErrAuth) || errors.Is(err, ErrReplay):
+			// The two documented failure modes.
+		default:
+			t.Fatalf("unexpected error type: %v", err)
+		}
+
+		// Liveness: the legitimate sender's seq-3 frame was never fed to
+		// this receiver (it is not in the corpus and GCM makes it
+		// unforgeable), so whatever b did, it must still open — a lossy
+		// or hostile link degrades gossip, it must not wedge the channel.
+		s2, err := NewChannel(key, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lateFrame []byte
+		for i := 0; i < 4; i++ {
+			lateFrame = s2.SealSeqAppend(nil, []byte("late share"))
+		}
+		got, err := recv.OpenSeqAppend(nil, lateFrame)
+		if err != nil {
+			t.Fatalf("channel wedged after arbitrary frame: %v", err)
+		}
+		if !bytes.Equal(got, []byte("late share")) {
+			t.Fatalf("late frame decrypted to %q", got)
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package vec
+
+// archImpls: no assembly tiers on this architecture — the portable Go
+// kernels (always appended by dispatch init) are the only implementation.
+func archImpls() []impl { return nil }

@@ -1,0 +1,82 @@
+package vec
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+func TestAvailableContract(t *testing.T) {
+	names := Available()
+	if len(names) == 0 {
+		t.Fatal("no implementations available")
+	}
+	if names[len(names)-1] != "go" {
+		t.Fatalf("portable Go impl must be last, got %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate implementation %q in %v", n, names)
+		}
+		seen[n] = true
+	}
+	if runtime.GOARCH == "amd64" && !seen["sse2"] {
+		t.Fatalf("amd64 must always offer sse2, got %v", names)
+	}
+	if runtime.GOARCH == "arm64" && !seen["neon"] {
+		t.Fatalf("arm64 must always offer neon, got %v", names)
+	}
+	if seen["avx2"] && names[0] != "avx2" {
+		t.Fatalf("avx2 available but not preferred: %v", names)
+	}
+}
+
+func TestUse(t *testing.T) {
+	prev := Impl()
+	defer func() {
+		if err := Use(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, name := range Available() {
+		if err := Use(name); err != nil {
+			t.Fatalf("Use(%q): %v", name, err)
+		}
+		if got := Impl(); got != name {
+			t.Fatalf("Use(%q) left Impl()=%q", name, got)
+		}
+	}
+	if err := Use("bogus"); err == nil {
+		t.Fatal("Use of unknown implementation must error")
+	}
+	if got := Impl(); got != Available()[len(Available())-1] {
+		// The failed Use must not have changed dispatch (last successful
+		// Use in the loop above was "go", always last).
+		t.Fatalf("failed Use changed Impl() to %q", got)
+	}
+}
+
+// TestForcedImplActive is the assertion behind the CI forced-path sweep:
+// when REX_VEC names an implementation this machine has, init must have
+// pinned dispatch to it. (The sweep runs the whole test suite with
+// REX_VEC=go, =sse2, =avx2, =neon; this test proves the knob actually
+// took effect rather than silently testing the default path four times.)
+func TestForcedImplActive(t *testing.T) {
+	forced := os.Getenv("REX_VEC")
+	if forced == "" || forced == "auto" {
+		t.Skip("REX_VEC not forcing a path")
+	}
+	for _, name := range Available() {
+		if name == forced {
+			if got := Impl(); got != forced {
+				t.Fatalf("REX_VEC=%q but Impl()=%q", forced, got)
+			}
+			return
+		}
+	}
+	// Forced path unavailable on this machine: init falls back to auto.
+	if got, want := Impl(), Available()[0]; got != want {
+		t.Fatalf("REX_VEC=%q unavailable: Impl()=%q, want auto choice %q", forced, got, want)
+	}
+}

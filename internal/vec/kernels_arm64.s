@@ -1,0 +1,321 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// arm64 NEON kernels. Bit-identity with the pure-Go reference loops is
+// load-bearing:
+//   - vector FADD/FSUB/FMUL/FDIV/FSQRT and the FCVTL/FCVTN widen/narrow
+//     pairs are IEEE-754 correctly rounded per lane (default rounding
+//     mode), so every lane computes the identical operation the scalar
+//     loop would; VFMLA (fused multiply-add) is never used;
+//   - reductions never appear here — Dot/SumSq stay scalar Go by
+//     contract, and sgd10's dot is a serial scalar FADDS chain;
+//   - every kernel consumes only whole 4-element blocks (len pre-trimmed
+//     by the Go wrapper, which finishes the tail with the reference loop).
+//
+// Go's arm64 assembler has no vector floating-point add/mul/sub/div
+// mnemonics (only the fused VFMLA/VFMLS, forbidden by the contract), so
+// those operations are WORD-encoded; each WORD's comment is the A64
+// instruction it encodes, and `go tool objdump` on an arm64 build decodes
+// them back to exactly these mnemonics (checked in CI by the cross-arch
+// job actually executing this file's kernels).
+
+// func addNEON(dst, src []float32)
+// dst[i] += src[i]; len(dst) is a positive multiple of 4.
+TEXT ·addNEON(SB), NOSPLIT, $0-48
+	MOVD dst_base+0(FP), R1
+	MOVD src_base+24(FP), R0
+	MOVD dst_len+8(FP), R2
+	LSR  $2, R2, R2
+
+addneon_loop:
+	VLD1.P 16(R0), [V0.S4]
+	VLD1   (R1), [V1.S4]
+	WORD   $0x4E20D422         // FADD V2.4S, V1.4S, V0.4S   (dst + src)
+	VST1.P [V2.S4], 16(R1)
+	SUBS   $1, R2, R2
+	BNE    addneon_loop
+	RET
+
+// func axpyNEON(alpha float32, x, y []float32)
+// y[i] += alpha*x[i]; len(y) is a positive multiple of 4.
+TEXT ·axpyNEON(SB), NOSPLIT, $0-56
+	FMOVS alpha+0(FP), F4
+	VDUP  V4.S[0], V4.S4
+	MOVD  x_base+8(FP), R0
+	MOVD  y_base+32(FP), R1
+	MOVD  y_len+40(FP), R2
+	LSR   $2, R2, R2
+
+axpyneon_loop:
+	VLD1.P 16(R0), [V0.S4]
+	VLD1   (R1), [V1.S4]
+	WORD   $0x6E20DC82         // FMUL V2.4S, V4.4S, V0.4S   (alpha*x)
+	WORD   $0x4E22D422         // FADD V2.4S, V1.4S, V2.4S   (y + alpha*x)
+	VST1.P [V2.S4], 16(R1)
+	SUBS   $1, R2, R2
+	BNE    axpyneon_loop
+	RET
+
+// func scaleNEON(alpha float32, x []float32)
+// x[i] *= alpha; len(x) is a positive multiple of 4.
+TEXT ·scaleNEON(SB), NOSPLIT, $0-32
+	FMOVS alpha+0(FP), F4
+	VDUP  V4.S[0], V4.S4
+	MOVD  x_base+8(FP), R0
+	MOVD  x_len+16(FP), R2
+	LSR   $2, R2, R2
+
+scaleneon_loop:
+	VLD1   (R0), [V0.S4]
+	WORD   $0x6E20DC81         // FMUL V1.4S, V4.4S, V0.4S   (alpha*x)
+	VST1.P [V1.S4], 16(R0)
+	SUBS   $1, R2, R2
+	BNE    scaleneon_loop
+	RET
+
+// func zeroNEON(x []float32)
+// x[i] = 0; len(x) is a positive multiple of 4.
+TEXT ·zeroNEON(SB), NOSPLIT, $0-24
+	VEOR V0.B16, V0.B16, V0.B16
+	MOVD x_base+0(FP), R0
+	MOVD x_len+8(FP), R2
+	LSR  $2, R2, R2
+
+zeroneon_loop:
+	VST1.P [V0.S4], 16(R0)
+	SUBS   $1, R2, R2
+	BNE    zeroneon_loop
+	RET
+
+// func sgd10NEON(x, y []float32, rating, mean, bu, bi, lr, reg float32) (float32, float32)
+//
+// NEON tier of the K=10 fused biased-MF SGD step: the dot product is a
+// strictly serial scalar FADDS chain starting from +0 (exactly the Go
+// accumulation order), lanes 0..7 update as two 4-lane vector blocks,
+// lanes 8..9 and the bias returns replicate the Go expression shapes
+// with scalar instructions operation for operation.
+TEXT ·sgd10NEON(SB), NOSPLIT, $0-80
+	MOVD x_base+0(FP), R0
+	MOVD y_base+24(FP), R1
+
+	// --- dot = Σ x[i]*y[i], serial chain from +0 ---
+	FMOVS ZR, F0
+	FMOVS 0(R0), F1
+	FMOVS 0(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 4(R0), F1
+	FMOVS 4(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 8(R0), F1
+	FMOVS 8(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 12(R0), F1
+	FMOVS 12(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 16(R0), F1
+	FMOVS 16(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 20(R0), F1
+	FMOVS 20(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 24(R0), F1
+	FMOVS 24(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 28(R0), F1
+	FMOVS 28(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 32(R0), F1
+	FMOVS 32(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+	FMOVS 36(R0), F1
+	FMOVS 36(R1), F2
+	FMULS F2, F1, F1
+	FADDS F1, F0, F0
+
+	// --- e = rating - (((mean + bu) + bi) + dot) ---
+	FMOVS mean+52(FP), F3
+	FMOVS bu+56(FP), F4
+	FADDS F4, F3, F3
+	FMOVS bi+60(FP), F5
+	FADDS F5, F3, F3
+	FADDS F0, F3, F3
+	FMOVS rating+48(FP), F6
+	FSUBS F3, F6, F6           // F6 = e
+
+	// --- broadcasts: V16 = e, V17 = lr, V18 = reg ---
+	VDUP  V6.S[0], V16.S4
+	FMOVS lr+64(FP), F7
+	VDUP  V7.S[0], V17.S4
+	FMOVS reg+68(FP), F8
+	VDUP  V8.S[0], V18.S4
+
+	// --- lanes 0..3 ---
+	VLD1   (R0), [V0.S4]       // x old
+	VLD1   (R1), [V1.S4]       // y old
+	WORD   $0x6E21DE02         // FMUL V2.4S, V16.4S, V1.4S  (e*y)
+	WORD   $0x6E20DE43         // FMUL V3.4S, V18.4S, V0.4S  (reg*x)
+	WORD   $0x4EA3D442         // FSUB V2.4S, V2.4S, V3.4S   (e*y - reg*x)
+	WORD   $0x6E22DE22         // FMUL V2.4S, V17.4S, V2.4S  (lr*(...))
+	WORD   $0x4E22D402         // FADD V2.4S, V0.4S, V2.4S   (x' = x + ...)
+	WORD   $0x6E20DE04         // FMUL V4.4S, V16.4S, V0.4S  (e*x_old)
+	WORD   $0x6E21DE45         // FMUL V5.4S, V18.4S, V1.4S  (reg*y)
+	WORD   $0x4EA5D484         // FSUB V4.4S, V4.4S, V5.4S
+	WORD   $0x6E24DE24         // FMUL V4.4S, V17.4S, V4.4S
+	WORD   $0x4E24D424         // FADD V4.4S, V1.4S, V4.4S   (y' = y + ...)
+	VST1.P [V2.S4], 16(R0)
+	VST1.P [V4.S4], 16(R1)
+
+	// --- lanes 4..7 ---
+	VLD1   (R0), [V0.S4]
+	VLD1   (R1), [V1.S4]
+	WORD   $0x6E21DE02         // FMUL V2.4S, V16.4S, V1.4S
+	WORD   $0x6E20DE43         // FMUL V3.4S, V18.4S, V0.4S
+	WORD   $0x4EA3D442         // FSUB V2.4S, V2.4S, V3.4S
+	WORD   $0x6E22DE22         // FMUL V2.4S, V17.4S, V2.4S
+	WORD   $0x4E22D402         // FADD V2.4S, V0.4S, V2.4S
+	WORD   $0x6E20DE04         // FMUL V4.4S, V16.4S, V0.4S
+	WORD   $0x6E21DE45         // FMUL V5.4S, V18.4S, V1.4S
+	WORD   $0x4EA5D484         // FSUB V4.4S, V4.4S, V5.4S
+	WORD   $0x6E24DE24         // FMUL V4.4S, V17.4S, V4.4S
+	WORD   $0x4E24D424         // FADD V4.4S, V1.4S, V4.4S
+	VST1.P [V2.S4], 16(R0)
+	VST1.P [V4.S4], 16(R1)
+
+	// --- lanes 8..9, scalar ---
+	FMOVS 0(R0), F9            // x8
+	FMOVS 0(R1), F10           // y8
+	FMULS F10, F6, F11         // e*y
+	FMULS F9, F8, F12          // reg*x
+	FSUBS F12, F11, F11
+	FMULS F11, F7, F11         // lr*(...)
+	FADDS F11, F9, F11         // x8'
+	FMULS F9, F6, F12          // e*x_old
+	FMULS F10, F8, F13         // reg*y
+	FSUBS F13, F12, F12
+	FMULS F12, F7, F12
+	FADDS F12, F10, F12        // y8'
+	FMOVS F11, 0(R0)
+	FMOVS F12, 0(R1)
+
+	FMOVS 4(R0), F9            // x9
+	FMOVS 4(R1), F10           // y9
+	FMULS F10, F6, F11
+	FMULS F9, F8, F12
+	FSUBS F12, F11, F11
+	FMULS F11, F7, F11
+	FADDS F11, F9, F11
+	FMULS F9, F6, F12
+	FMULS F10, F8, F13
+	FSUBS F13, F12, F12
+	FMULS F12, F7, F12
+	FADDS F12, F10, F12
+	FMOVS F11, 4(R0)
+	FMOVS F12, 4(R1)
+
+	// --- bu' = bu + lr*(e - reg*bu) ---
+	FMOVS bu+56(FP), F9
+	FMULS F9, F8, F10          // reg*bu
+	FSUBS F10, F6, F10         // e - reg*bu
+	FMULS F10, F7, F10         // lr*(...)
+	FADDS F10, F9, F10         // bu + ...
+	FMOVS F10, ret+72(FP)
+
+	// --- bi' = bi + lr*(e - reg*bi) ---
+	FMOVS bi+60(FP), F9
+	FMULS F9, F8, F10
+	FSUBS F10, F6, F10
+	FMULS F10, F7, F10
+	FADDS F10, F9, F10
+	FMOVS F10, ret1+76(FP)
+
+	RET
+
+// func adamNEON(w, g, m, v []float32, lr float64, b1, onemb1, b2, onemb2 float32, bc1, bc2, eps float64)
+//
+// NEON fused Adam step, weight decay already applied by the wrapper;
+// len(w) is a positive multiple of 4. Per 4-element block:
+//
+//	m' = b1*m + (1-b1)*g                      (float32, one 4S block)
+//	v' = b2*v + ((1-b2)*g)*g                  (float32, one 4S block)
+//	step = lr*(f64(m')/bc1) / (sqrt(f64(v')/bc2) + eps)   (float64, 2×2D)
+//	w' = w - f32(step)
+//
+// FCVTL/FCVTL2 widen exactly; FDIV/FSQRT/FCVTN are correctly rounded, so
+// every lane reproduces the scalar loop bit for bit.
+TEXT ·adamNEON(SB), NOSPLIT, $0-144
+	MOVD w_base+0(FP), R0
+	MOVD g_base+24(FP), R1
+	MOVD m_base+48(FP), R2
+	MOVD v_base+72(FP), R3
+	MOVD w_len+8(FP), R4
+	LSR  $2, R4, R4
+
+	FMOVS b1+104(FP), F20
+	VDUP  V20.S[0], V20.S4
+	FMOVS onemb1+108(FP), F21
+	VDUP  V21.S[0], V21.S4
+	FMOVS b2+112(FP), F22
+	VDUP  V22.S[0], V22.S4
+	FMOVS onemb2+116(FP), F23
+	VDUP  V23.S[0], V23.S4
+	FMOVD lr+96(FP), F24
+	VDUP  V24.D[0], V24.D2
+	FMOVD bc1+120(FP), F25
+	VDUP  V25.D[0], V25.D2
+	FMOVD bc2+128(FP), F26
+	VDUP  V26.D[0], V26.D2
+	FMOVD eps+136(FP), F27
+	VDUP  V27.D[0], V27.D2
+
+adamneon_loop:
+	VLD1.P 16(R1), [V0.S4]     // g
+	VLD1   (R2), [V1.S4]       // m
+	VLD1   (R3), [V2.S4]       // v
+
+	WORD $0x6E21DE83           // FMUL V3.4S, V20.4S, V1.4S  (b1*m)
+	WORD $0x6E20DEA4           // FMUL V4.4S, V21.4S, V0.4S  ((1-b1)*g)
+	WORD $0x4E24D463           // FADD V3.4S, V3.4S, V4.4S   (m')
+	WORD $0x6E22DEC5           // FMUL V5.4S, V22.4S, V2.4S  (b2*v)
+	WORD $0x6E20DEE6           // FMUL V6.4S, V23.4S, V0.4S  ((1-b2)*g)
+	WORD $0x6E20DCC6           // FMUL V6.4S, V6.4S, V0.4S   (((1-b2)*g)*g, left-assoc like Go)
+	WORD $0x4E26D4A5           // FADD V5.4S, V5.4S, V6.4S   (v')
+
+	VST1.P [V3.S4], 16(R2)
+	VST1.P [V5.S4], 16(R3)
+
+	WORD $0x0E617867           // FCVTL  V7.2D, V3.2S        (f64(m') low, exact)
+	WORD $0x4E617868           // FCVTL2 V8.2D, V3.4S        (f64(m') high, exact)
+	WORD $0x0E6178A9           // FCVTL  V9.2D, V5.2S        (f64(v') low)
+	WORD $0x4E6178AA           // FCVTL2 V10.2D, V5.4S       (f64(v') high)
+	WORD $0x6E79FCE7           // FDIV V7.2D, V7.2D, V25.2D  (mhat low  = f64(m')/bc1)
+	WORD $0x6E79FD08           // FDIV V8.2D, V8.2D, V25.2D  (mhat high)
+	WORD $0x6E7AFD29           // FDIV V9.2D, V9.2D, V26.2D  (vhat low  = f64(v')/bc2)
+	WORD $0x6E7AFD4A           // FDIV V10.2D, V10.2D, V26.2D (vhat high)
+	WORD $0x6EE1F929           // FSQRT V9.2D, V9.2D         (sqrt(vhat) low)
+	WORD $0x6EE1F94A           // FSQRT V10.2D, V10.2D       (sqrt(vhat) high)
+	WORD $0x4E7BD529           // FADD V9.2D, V9.2D, V27.2D  (+ eps, low)
+	WORD $0x4E7BD54A           // FADD V10.2D, V10.2D, V27.2D (+ eps, high)
+	WORD $0x6E67DF07           // FMUL V7.2D, V24.2D, V7.2D  (lr*mhat low)
+	WORD $0x6E68DF08           // FMUL V8.2D, V24.2D, V8.2D  (lr*mhat high)
+	WORD $0x6E69FCE7           // FDIV V7.2D, V7.2D, V9.2D   (step low, float64)
+	WORD $0x6E6AFD08           // FDIV V8.2D, V8.2D, V10.2D  (step high)
+	WORD $0x0E6168EB           // FCVTN  V11.2S, V7.2D       (f32(step) low, correctly rounded)
+	WORD $0x4E61690B           // FCVTN2 V11.4S, V8.2D       (f32(step) high)
+
+	VLD1 (R0), [V12.S4]        // w
+	WORD $0x4EABD58C           // FSUB V12.4S, V12.4S, V11.4S (w' = w - f32(step))
+	VST1.P [V12.S4], 16(R0)
+
+	SUBS $1, R4, R4
+	BNE  adamneon_loop
+	RET

@@ -7,9 +7,13 @@ import (
 )
 
 // The kernels promise bit-identity with their naive reference loops. Every
-// property test below runs the reference next to the kernel across lengths
-// straddling the unroll width (0..67) and asserts float32 equality by bits,
-// not tolerance.
+// property test below runs the reference next to the kernel and asserts
+// float32 equality by bits, not tolerance. Dispatched kernels run the full
+// matrix of {every implementation available on this machine} × {lengths
+// 0..70, crossing every SSE2/AVX2/NEON remainder boundary} × {slice
+// offsets 0..5, so vector blocks start at unaligned addresses}; guard
+// sentinels around each window catch any out-of-bounds store by the
+// assembly block/tail split.
 
 func randSlice(rng *rand.Rand, n int) []float32 {
 	s := make([]float32, n)
@@ -30,13 +34,70 @@ func requireBitsEq(t *testing.T, name string, n int, got, want []float32) {
 	}
 }
 
+// forEachImpl runs fn once per implementation available on this machine,
+// with dispatch pinned to it for the duration of the subtest.
+func forEachImpl(t *testing.T, fn func(t *testing.T)) {
+	for _, im := range available {
+		im := im
+		t.Run(im.name, func(t *testing.T) {
+			prev := active
+			active = im
+			defer func() { active = prev }()
+			fn(t)
+		})
+	}
+}
+
+const guard = 8 // sentinel elements on each side of every test window
+
+const sentinel = float32(-987654.25)
+
+// window is an n-element slice carved out of a larger buffer at a chosen
+// element offset (so SIMD blocks start at 4-, 8-, 12-… byte alignments,
+// not just 16/32), with sentinel guards on both sides.
+type window struct {
+	base []float32
+	off  int
+	n    int
+}
+
+func newWindow(rng *rand.Rand, n, off int) window {
+	w := window{base: make([]float32, guard+off+n+guard), off: guard + off, n: n}
+	for i := range w.base {
+		w.base[i] = sentinel
+	}
+	s := w.s()
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return w
+}
+
+func (w window) s() []float32 { return w.base[w.off : w.off+w.n] }
+
+func (w window) checkGuards(t *testing.T, name string) {
+	t.Helper()
+	for i := 0; i < w.off; i++ {
+		if !bitsEq(w.base[i], sentinel) {
+			t.Fatalf("%s n=%d: clobbered guard before window (index %d)", name, w.n, i-w.off)
+		}
+	}
+	for i := w.off + w.n; i < len(w.base); i++ {
+		if !bitsEq(w.base[i], sentinel) {
+			t.Fatalf("%s n=%d: clobbered guard after window (index %d)", name, w.n, i-w.off-w.n)
+		}
+	}
+}
+
+var testOffsets = []int{0, 1, 2, 3, 5}
+
 func TestDotMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for n := 0; n <= 67; n++ {
+	for n := 0; n <= 70; n++ {
 		a, b := randSlice(rng, n), randSlice(rng, n)
 		var want float32
 		for i := 0; i < n; i++ {
-			want += a[i] * b[i]
+			want += float32(a[i] * b[i])
 		}
 		if got := Dot(a, b); !bitsEq(got, want) {
 			t.Fatalf("Dot n=%d: got %v want %v", n, got, want)
@@ -46,11 +107,11 @@ func TestDotMatchesReference(t *testing.T) {
 
 func TestSumSqMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for n := 0; n <= 67; n++ {
+	for n := 0; n <= 70; n++ {
 		x := randSlice(rng, n)
 		var want float32
 		for i := 0; i < n; i++ {
-			want += x[i] * x[i]
+			want += float32(x[i] * x[i])
 		}
 		if got := SumSq(x); !bitsEq(got, want) {
 			t.Fatalf("SumSq n=%d: got %v want %v", n, got, want)
@@ -60,58 +121,104 @@ func TestSumSqMatchesReference(t *testing.T) {
 
 func TestAddMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	for n := 0; n <= 67; n++ {
-		dst, src := randSlice(rng, n), randSlice(rng, n)
-		want := append([]float32(nil), dst...)
-		for i := range want {
-			want[i] += src[i]
+	forEachImpl(t, func(t *testing.T) {
+		for n := 0; n <= 70; n++ {
+			for _, off := range testOffsets {
+				dw, sw := newWindow(rng, n, off), newWindow(rng, n, off)
+				dst, src := dw.s(), sw.s()
+				want := append([]float32(nil), dst...)
+				for i := range want {
+					want[i] += src[i]
+				}
+				Add(dst, src)
+				requireBitsEq(t, "Add", n, dst, want)
+				dw.checkGuards(t, "Add.dst")
+				sw.checkGuards(t, "Add.src")
+			}
 		}
-		Add(dst, src)
-		requireBitsEq(t, "Add", n, dst, want)
-	}
+	})
 }
 
 func TestAddScaledMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	for n := 0; n <= 67; n++ {
-		alpha := float32(rng.NormFloat64())
-		dst, src := randSlice(rng, n), randSlice(rng, n)
-		want := append([]float32(nil), dst...)
-		for i := range want {
-			want[i] += alpha * src[i]
+	forEachImpl(t, func(t *testing.T) {
+		for n := 0; n <= 70; n++ {
+			for _, off := range testOffsets {
+				alpha := float32(rng.NormFloat64())
+				dw, sw := newWindow(rng, n, off), newWindow(rng, n, off)
+				dst, src := dw.s(), sw.s()
+				want := append([]float32(nil), dst...)
+				srcOrig := append([]float32(nil), src...)
+				for i := range want {
+					want[i] += float32(alpha * src[i])
+				}
+				add2 := append([]float32(nil), dst...)
+				AddScaled(dst, src, alpha)
+				requireBitsEq(t, "AddScaled", n, dst, want)
+				requireBitsEq(t, "AddScaled.src", n, src, srcOrig)
+				dw.checkGuards(t, "AddScaled.dst")
+				sw.checkGuards(t, "AddScaled.src")
+				// Axpy is the same kernel under its BLAS name.
+				Axpy(alpha, srcOrig, add2)
+				requireBitsEq(t, "Axpy", n, add2, want)
+			}
 		}
-		Add2 := append([]float32(nil), dst...)
-		AddScaled(dst, src, alpha)
-		requireBitsEq(t, "AddScaled", n, dst, want)
-		// Axpy is the same kernel under its BLAS name.
-		Axpy(alpha, src, Add2)
-		requireBitsEq(t, "Axpy", n, Add2, want)
-	}
+	})
 }
 
 func TestScaleAndZero(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	for n := 0; n <= 67; n++ {
-		alpha := float32(rng.NormFloat64())
-		x := randSlice(rng, n)
-		want := append([]float32(nil), x...)
-		for i := range want {
-			want[i] *= alpha
-		}
-		Scale(alpha, x)
-		requireBitsEq(t, "Scale", n, x, want)
-		Zero(x)
-		for i := range x {
-			if x[i] != 0 {
-				t.Fatalf("Zero n=%d left %v at %d", n, x[i], i)
+	forEachImpl(t, func(t *testing.T) {
+		for n := 0; n <= 70; n++ {
+			for _, off := range testOffsets {
+				alpha := float32(rng.NormFloat64())
+				w := newWindow(rng, n, off)
+				x := w.s()
+				want := append([]float32(nil), x...)
+				for i := range want {
+					want[i] *= alpha
+				}
+				Scale(alpha, x)
+				requireBitsEq(t, "Scale", n, x, want)
+				w.checkGuards(t, "Scale")
+				Zero(x)
+				for i := range x {
+					if x[i] != 0 {
+						t.Fatalf("Zero n=%d left %v at %d", n, x[i], i)
+					}
+				}
+				w.checkGuards(t, "Zero")
 			}
 		}
-	}
+	})
+}
+
+// TestAxpyAliased pins in-place accumulation, dst==src: the reference loop
+// reads y[i] before writing it, so aliasing is well defined and the
+// element-wise kernels must honor it.
+func TestAxpyAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	forEachImpl(t, func(t *testing.T) {
+		for n := 0; n <= 70; n++ {
+			for _, off := range testOffsets {
+				alpha := float32(rng.NormFloat64())
+				w := newWindow(rng, n, off)
+				x := w.s()
+				want := append([]float32(nil), x...)
+				for i := range want {
+					want[i] += float32(alpha * want[i])
+				}
+				Axpy(alpha, x, x)
+				requireBitsEq(t, "Axpy.aliased", n, x, want)
+				w.checkGuards(t, "Axpy.aliased")
+			}
+		}
+	})
 }
 
 func TestSGDStepMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	for n := 0; n <= 67; n++ {
+	for n := 0; n <= 70; n++ {
 		e := float32(rng.NormFloat64())
 		lr, reg := float32(0.005), float32(0.1)
 		x, y := randSlice(rng, n), randSlice(rng, n)
@@ -119,8 +226,8 @@ func TestSGDStepMatchesReference(t *testing.T) {
 		wy := append([]float32(nil), y...)
 		for d := 0; d < n; d++ {
 			xd, yd := wx[d], wy[d]
-			wx[d] += lr * (e*yd - reg*xd)
-			wy[d] += lr * (e*xd - reg*yd)
+			wx[d] += float32(lr * (float32(e*yd) - float32(reg*xd)))
+			wy[d] += float32(lr * (float32(e*xd) - float32(reg*yd)))
 		}
 		SGDStep(x, y, e, lr, reg)
 		requireBitsEq(t, "SGDStep.x", n, x, wx)
@@ -128,65 +235,89 @@ func TestSGDStepMatchesReference(t *testing.T) {
 	}
 }
 
+func adamReference(w, g, m, v []float32, lr, wd float64, b1, b2 float32, bc1, bc2, eps float64) {
+	for i, gi := range g {
+		if wd != 0 {
+			w[i] -= float32(lr * wd * float64(w[i]))
+		}
+		m[i] = float32(b1*m[i]) + float32((1-b1)*gi)
+		v[i] = float32(b2*v[i]) + float32((1-b2)*gi*gi)
+		mhat := float64(m[i]) / bc1
+		vhat := float64(v[i]) / bc2
+		w[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
+	}
+}
+
 func TestAdamStepMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	lr, wd, eps := 1e-4, 1e-5, 1e-8
 	b1, b2 := float32(0.9), float32(0.999)
-	for n := 0; n <= 67; n++ {
-		for _, useWD := range []float64{wd, 0} {
-			w, g := randSlice(rng, n), randSlice(rng, n)
-			m, v := randSlice(rng, n), make([]float32, n)
-			for i := range v {
-				v[i] = float32(rng.Float64()) // v must stay non-negative
-			}
-			t_ := 1 + rng.Intn(50)
-			bc1 := 1 - math.Pow(float64(b1), float64(t_))
-			bc2 := 1 - math.Pow(float64(b2), float64(t_))
-			ww := append([]float32(nil), w...)
-			wm := append([]float32(nil), m...)
-			wv := append([]float32(nil), v...)
-			for i, gi := range g {
-				if useWD != 0 {
-					ww[i] -= float32(lr * useWD * float64(ww[i]))
+	forEachImpl(t, func(t *testing.T) {
+		for n := 0; n <= 70; n++ {
+			for _, useWD := range []float64{wd, 0} {
+				for _, off := range testOffsets {
+					ws, gs := newWindow(rng, n, off), newWindow(rng, n, off)
+					ms, vs := newWindow(rng, n, off), newWindow(rng, n, off)
+					w, g, m, v := ws.s(), gs.s(), ms.s(), vs.s()
+					for i := range v {
+						v[i] = float32(rng.Float64()) // v must stay non-negative
+					}
+					t_ := 1 + rng.Intn(50)
+					bc1 := 1 - math.Pow(float64(b1), float64(t_))
+					bc2 := 1 - math.Pow(float64(b2), float64(t_))
+					ww := append([]float32(nil), w...)
+					wm := append([]float32(nil), m...)
+					wv := append([]float32(nil), v...)
+					adamReference(ww, g, wm, wv, lr, useWD, b1, b2, bc1, bc2, eps)
+					AdamStep(w, g, m, v, lr, useWD, b1, b2, bc1, bc2, eps)
+					requireBitsEq(t, "AdamStep.w", n, w, ww)
+					requireBitsEq(t, "AdamStep.m", n, m, wm)
+					requireBitsEq(t, "AdamStep.v", n, v, wv)
+					for _, pair := range []struct {
+						name string
+						win  window
+					}{{"w", ws}, {"g", gs}, {"m", ms}, {"v", vs}} {
+						pair.win.checkGuards(t, "AdamStep."+pair.name)
+					}
 				}
-				wm[i] = b1*wm[i] + (1-b1)*gi
-				wv[i] = b2*wv[i] + (1-b2)*gi*gi
-				mhat := float64(wm[i]) / bc1
-				vhat := float64(wv[i]) / bc2
-				ww[i] -= float32(lr * mhat / (math.Sqrt(vhat) + eps))
 			}
-			AdamStep(w, g, m, v, lr, useWD, b1, b2, bc1, bc2, eps)
-			requireBitsEq(t, "AdamStep.w", n, w, ww)
-			requireBitsEq(t, "AdamStep.m", n, m, wm)
-			requireBitsEq(t, "AdamStep.v", n, v, wv)
 		}
-	}
+	})
 }
 
 // TestLongerSourcesIgnored pins the length contract: the first argument
 // defines the operation length and trailing source elements are untouched.
 func TestLongerSourcesIgnored(t *testing.T) {
-	dst := []float32{1, 2}
-	src := []float32{10, 20, 30}
-	AddScaled(dst, src, 1)
-	if dst[0] != 11 || dst[1] != 22 {
-		t.Fatalf("AddScaled wrong: %v", dst)
-	}
-	if got := Dot([]float32{1, 1}, []float32{3, 4, 5}); got != 7 {
-		t.Fatalf("Dot used excess elements: %v", got)
-	}
+	forEachImpl(t, func(t *testing.T) {
+		dst := []float32{1, 2}
+		src := []float32{10, 20, 30}
+		AddScaled(dst, src, 1)
+		if dst[0] != 11 || dst[1] != 22 {
+			t.Fatalf("AddScaled wrong: %v", dst)
+		}
+		if src[2] != 30 {
+			t.Fatalf("AddScaled touched excess src: %v", src)
+		}
+		if got := Dot([]float32{1, 1}, []float32{3, 4, 5}); got != 7 {
+			t.Fatalf("Dot used excess elements: %v", got)
+		}
+	})
 }
 
 func TestShortSourcePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddScaled with short src must panic")
-		}
-	}()
-	AddScaled(make([]float32, 8), make([]float32, 4), 1)
+	forEachImpl(t, func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AddScaled with short src must panic")
+			}
+		}()
+		AddScaled(make([]float32, 8), make([]float32, 4), 1)
+	})
 }
 
-// --- benchmarks: the numbers behind README's kernel table ---
+// --- benchmarks: the numbers behind README's kernel table and the CI
+// bench-regression gate (cmd/benchgate compares the dispatched path
+// against REX_VEC=go runs of these same benchmarks) ---
 
 func benchSlices(n int) ([]float32, []float32) {
 	rng := rand.New(rand.NewSource(9))
@@ -212,6 +343,20 @@ func BenchmarkAddScaled(b *testing.B) {
 		b.Run(sizeName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				AddScaled(a, c, 0.5)
+			}
+		})
+	}
+}
+
+func BenchmarkScale(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		a, _ := benchSlices(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			// alpha=-1 keeps magnitudes constant across iterations: a
+			// decaying alpha would drive the buffer into subnormals and
+			// measure FP-assist stalls instead of the kernel.
+			for i := 0; i < b.N; i++ {
+				Scale(-1, a)
 			}
 		})
 	}
