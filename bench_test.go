@@ -451,15 +451,24 @@ func BenchmarkClusterEpoch(b *testing.B) {
 			name = "secure"
 		}
 		b.Run(name, func(b *testing.B) {
+			var wire int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cfg := liveClusterConfig(b, secure, epochs)
 				b.StartTimer()
-				if _, err := runtime.RunCluster(cfg); err != nil {
+				stats, err := runtime.RunCluster(cfg)
+				if err != nil {
 					b.Fatal(err)
+				}
+				for _, s := range stats {
+					wire += s.BytesOnWire
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N*epochs), "ms/epoch")
+			// Total cluster bytes handed to the transport per epoch: frame
+			// payloads + kind framing + (secure) attestation handshakes —
+			// the secure-vs-native wire overhead in one number.
+			b.ReportMetric(float64(wire)/float64(b.N*epochs), "wireB/epoch")
 		})
 	}
 }

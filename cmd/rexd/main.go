@@ -1,0 +1,357 @@
+// Command rexd runs one REX node as a long-running daemon: the training
+// loop of rexnode restructured around runtime.Engine, with snapshot
+// persistence (internal/store) and an HTTP serving path (internal/serve)
+// attached. Where rexnode trains for -epochs and exits, rexd trains in
+// generations, persists a snapshot after each one, serves /recommend from
+// the latest published snapshot the whole time, and keeps going until a
+// drain (SIGTERM, SIGINT or POST /drain) or -generations runs out.
+//
+// Example 2-node daemon cluster (two shells):
+//
+//	rexd -id 0 -nodes 127.0.0.1:7800,127.0.0.1:7801 -http 127.0.0.1:8800 -data /tmp/rexd0
+//	rexd -id 1 -nodes 127.0.0.1:7800,127.0.0.1:7801 -http 127.0.0.1:8801 -data /tmp/rexd1
+//
+// then POST ratings to /rate, query /recommend?user=U&n=N (add &model=knn
+// to rank with user-based KNN over the node's raw-data store), watch
+// /status, and stop with POST /drain — the daemon finishes its epoch,
+// persists a final snapshot, and exits 0.
+//
+// Crash recovery: kill -9 a node, restart it with the same flags plus
+// -resume, and it reloads the last persisted snapshot, replays its rating
+// WAL, and rejoins the still-running cluster mid-gossip — peers readmit it
+// through the failure detector's rejoin path (gossip is rate-synchronized,
+// not epoch-stamped, so the resumed node's older epoch counter is fine).
+//
+// Resume is a plaintext-mode feature: secure mode has no re-attestation
+// path (a fresh enclave cannot rejoin sessions attested before the crash),
+// so -secure is rejected together with -resume, and rexd defaults to the
+// native build. Secure daemons work when the whole cluster starts fresh.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"rex/internal/attest"
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/movielens"
+	"rex/internal/runtime"
+	"rex/internal/serve"
+	"rex/internal/store"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this node's index into -nodes")
+		nodes     = flag.String("nodes", "", "comma-separated host:port of every node's gossip address, in id order")
+		httpAddr  = flag.String("http", "", "HTTP serving address (e.g. 127.0.0.1:8800)")
+		dataDir   = flag.String("data", "", "persistence directory (snapshots + rating WAL); empty = no persistence")
+		resume    = flag.Bool("resume", false, "restore model/store/epoch from the last snapshot in -data and rejoin the cluster")
+		gens      = flag.Int("generations", 0, "stop after this many generations; 0 = run until drained")
+		genEpochs = flag.Int("gen-epochs", 5, "training epochs per generation (one snapshot per generation)")
+		modeStr   = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
+		algoStr   = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
+		secure    = flag.Bool("secure", false, "attest peers and encrypt gossip; incompatible with -resume")
+		seed      = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
+		scale     = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
+		points    = flag.Int("share", 100, "raw data points shared per epoch")
+		steps     = flag.Int("steps", 300, "SGD steps per epoch")
+		roundTO   = flag.Duration("round-timeout", 5*time.Second, "max wait per neighbor per gossip round before counting a miss")
+		grace     = flag.Int("peer-grace", 3, "consecutive missed rounds before a peer is dropped (rejoin stays possible)")
+	)
+	flag.Parse()
+	if err := run(daemonOpts{
+		id: *id, nodes: *nodes, httpAddr: *httpAddr, dataDir: *dataDir,
+		resume: *resume, generations: *gens, genEpochs: *genEpochs,
+		modeStr: *modeStr, algoStr: *algoStr, secure: *secure,
+		seed: *seed, scale: *scale, points: *points, steps: *steps,
+		roundTimeout: *roundTO, peerGrace: *grace,
+	}); err != nil {
+		log.Fatalf("rexd: %v", err)
+	}
+}
+
+type daemonOpts struct {
+	id           int
+	nodes        string
+	httpAddr     string
+	dataDir      string
+	resume       bool
+	generations  int
+	genEpochs    int
+	modeStr      string
+	algoStr      string
+	secure       bool
+	seed         int64
+	scale        float64
+	points       int
+	steps        int
+	roundTimeout time.Duration
+	peerGrace    int
+}
+
+func run(o daemonOpts) error {
+	mode, err := core.ParseMode(o.modeStr)
+	if err != nil {
+		return err
+	}
+	algo, err := gossip.ParseAlgo(o.algoStr)
+	if err != nil {
+		return err
+	}
+	if o.secure && o.resume {
+		return fmt.Errorf("-resume needs -secure=false: there is no re-attestation path into a running secure cluster")
+	}
+	if o.genEpochs <= 0 {
+		return fmt.Errorf("-gen-epochs must be positive")
+	}
+	addrs := strings.Split(o.nodes, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("-nodes needs at least two addresses")
+	}
+	if o.id < 0 || o.id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d nodes", o.id, len(addrs))
+	}
+	n := len(addrs)
+
+	// Deterministic shared workload: every daemon derives the full dataset
+	// and takes its own partition, exactly like rexnode.
+	spec := movielens.Latest().Scaled(o.scale)
+	spec.Seed = o.seed
+	ds := movielens.Generate(spec)
+	rng := rand.New(rand.NewSource(o.seed))
+	tr, te := ds.SplitPerUser(0.7, rng)
+	trainParts, err := tr.PartitionUsersAcross(n, rand.New(rand.NewSource(o.seed)))
+	if err != nil {
+		return fmt.Errorf("partitioning: %w", err)
+	}
+	testParts, err := te.PartitionUsersAcross(n, rand.New(rand.NewSource(o.seed)))
+	if err != nil {
+		return fmt.Errorf("partitioning: %w", err)
+	}
+	mcfg := mf.DefaultConfig()
+	ncfg := core.Config{
+		ID: o.id, Mode: mode, Algo: algo,
+		StepsPerEpoch: o.steps, SharePoints: o.points, Seed: o.seed,
+	}
+
+	// Persistence: open the data dir first so a -resume failure is caught
+	// before any network activity.
+	var dir *store.Dir
+	var dirMu sync.Mutex // serializes WAL appends (HTTP) vs snapshots (loop)
+	if o.dataDir != "" {
+		dir, err = store.Open(o.dataDir)
+		if err != nil {
+			return err
+		}
+		defer dir.Close()
+	}
+
+	node := core.NewNode(ncfg, mf.New(mcfg), trainParts[o.id], testParts[o.id])
+	startEpoch := 0
+	resumed := false
+	if o.resume {
+		if dir == nil {
+			return fmt.Errorf("-resume needs -data")
+		}
+		snap, replayed, err := dir.Load()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", o.dataDir, err)
+		}
+		if snap == nil {
+			log.Printf("node %d: -resume with empty %s, starting fresh", o.id, o.dataDir)
+		} else {
+			m := mf.New(mcfg)
+			if err := m.Unmarshal(snap.Model); err != nil {
+				return fmt.Errorf("restoring model: %w", err)
+			}
+			node = core.RestoreNode(ncfg, m, snap.Ratings, testParts[o.id], snap.Epoch)
+			if len(replayed) > 0 {
+				node.Store.Append(replayed)
+			}
+			startEpoch = snap.Epoch
+			resumed = true
+			log.Printf("node %d: resumed at epoch %d (%d snapshot ratings, %d WAL ratings replayed)",
+				o.id, snap.Epoch, len(snap.Ratings), len(replayed))
+		}
+	}
+
+	peers := make(map[int]string, n)
+	var neighbors []int
+	for i, a := range addrs {
+		if i == o.id {
+			continue
+		}
+		peers[i] = a
+		neighbors = append(neighbors, i)
+	}
+	ep, err := runtime.NewTCPNet(o.id, addrs[o.id], peers)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	cfg := runtime.Config{
+		Node: node, Endpoint: ep, Neighbors: neighbors,
+		Secure:     o.secure,
+		NewModel:   func() model.Model { return mf.New(mcfg) },
+		StartEpoch: startEpoch,
+		Publish:    true,
+		// A daemon must survive peer restarts: time out slow rounds, drop
+		// after a grace window, and readmit peers that come back — this is
+		// what lets a killed node -resume into a live cluster.
+		RoundTimeout: o.roundTimeout,
+		PeerGrace:    o.peerGrace,
+		Rejoin:       true,
+		OnEpoch: func(e int, rmse float64) {
+			log.Printf("node %d epoch %3d: local test RMSE %.4f", o.id, e, rmse)
+		},
+	}
+	if o.secure {
+		inf := attest.NewInfrastructure()
+		entropy := rand.New(rand.NewSource(o.seed))
+		platforms := make([]*attest.Platform, n)
+		for i := 0; i < n; i++ {
+			p, err := inf.NewPlatform(entropy)
+			if err != nil {
+				return fmt.Errorf("platform: %w", err)
+			}
+			platforms[i] = p
+		}
+		cfg.Platform = platforms[o.id]
+		cfg.Infra = inf
+		cfg.Measurement = attest.MeasureCode([]byte("rex-enclave-v1"))
+		cfg.Entropy = rand.New(rand.NewSource(o.seed + int64(o.id) + 1000))
+	}
+
+	engine, err := runtime.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	if err := engine.Start(); err != nil {
+		return err
+	}
+	defer engine.Stop()
+
+	// Drains: SIGTERM/SIGINT and POST /drain both set the engine flag; the
+	// loop below notices between epochs, finishes the current one cleanly,
+	// persists a final snapshot, and closes drained.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		log.Printf("node %d: %v, draining", o.id, s)
+		engine.Drain()
+	}()
+
+	generation := 0
+	drained := make(chan struct{})
+	var httpSrv *http.Server
+	if o.httpAddr != "" {
+		srv, err := serve.New(serve.Config{
+			Node: engine, ID: o.id, NumItems: ds.NumItems,
+			OnRate: func(rs []dataset.Rating) error {
+				if dir == nil {
+					return nil
+				}
+				dirMu.Lock()
+				defer dirMu.Unlock()
+				return dir.Append(rs)
+			},
+			Drained: drained,
+			Extra: func() map[string]any {
+				return map[string]any{
+					"generation": generation,
+					"data_dir":   o.dataDir,
+					"resumed":    resumed,
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Addr: o.httpAddr, Handler: srv.Handler()}
+		go func() {
+			log.Printf("node %d: serving on http://%s", o.id, o.httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("node %d: http: %v", o.id, err)
+				engine.Drain()
+			}
+		}()
+	}
+
+	persist := func() error {
+		if dir == nil {
+			return nil
+		}
+		snap := engine.Snapshot()
+		if snap == nil {
+			return nil
+		}
+		rmse := snap.RMSE
+		if math.IsNaN(rmse) {
+			rmse = -1
+		}
+		dirMu.Lock()
+		defer dirMu.Unlock()
+		return dir.SaveSnapshot(snap.Epoch, rmse, snap.Model, snap.Ratings)
+	}
+
+	// The generation loop: train gen-epochs epochs, persist, repeat. The
+	// serving path reads published snapshots concurrently the whole time.
+	var loopErr error
+	for !engine.Draining() && (o.generations == 0 || generation < o.generations) {
+		for k := 0; k < o.genEpochs && !engine.Draining(); k++ {
+			if _, err := engine.Step(); err != nil {
+				loopErr = err
+				break
+			}
+		}
+		generation++
+		if loopErr != nil {
+			break
+		}
+		if err := persist(); err != nil {
+			loopErr = fmt.Errorf("persisting generation %d: %w", generation, err)
+			break
+		}
+		log.Printf("node %d: generation %d done (epoch %d persisted)", o.id, generation, engine.Epoch())
+	}
+	engine.Drain() // reflect the stop in /status for late observers
+	if loopErr == nil {
+		if err := persist(); err != nil {
+			loopErr = fmt.Errorf("final snapshot: %w", err)
+		}
+	}
+	engine.Stop()
+	close(drained)
+	if httpSrv != nil {
+		// Let in-flight handlers (notably /drain waiters) finish.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+	st := engine.Stats()
+	log.Printf("node %d drained at epoch %d: final RMSE %.6f | in %d B out %d B wire %d B | lost %d rejoined %d",
+		o.id, engine.Epoch(), st.FinalRMSE, st.BytesIn, st.BytesOut, st.BytesOnWire, st.PeersLost, st.Rejoins)
+	return nil
+}

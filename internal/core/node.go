@@ -130,6 +130,19 @@ func NewNode(cfg Config, m model.Model, train, test []dataset.Rating) *Node {
 	}
 }
 
+// RestoreNode rebuilds a node from persisted state (internal/store): a
+// deserialized model, the raw-data store contents at snapshot time (plus
+// any replayed ingestion log), and the epoch count already completed. The
+// RNG restarts from the seed stream — a resumed node's future trajectory
+// is deterministic but not the one an uninterrupted run would have taken,
+// which is fine: gossip is rate-synchronized, and peers have diverged by
+// whatever it merged while this node was down anyway.
+func RestoreNode(cfg Config, m model.Model, store, test []dataset.Rating, epoch int) *Node {
+	n := NewNode(cfg, m, store, test)
+	n.epoch = epoch
+	return n
+}
+
 // Epoch returns how many training epochs the node has completed.
 func (n *Node) Epoch() int { return n.epoch }
 

@@ -1,0 +1,44 @@
+package rank
+
+import "rex/internal/dataset"
+
+// Index is the cached candidate index the serving path ranks against: the
+// per-user seen sets (items to exclude — the user's own interactions) and
+// the candidate range, precomputed once per model snapshot instead of
+// rebuilt on every query. An Index is immutable after construction and
+// safe for concurrent readers; results are bit-identical to calling the
+// uncached TopN with SeenSet-built exclusions over the same ratings.
+type Index struct {
+	numItems int
+	seen     map[uint32]map[uint32]bool
+}
+
+// NewIndex builds the index from a ratings snapshot (typically a REX
+// node's raw-data store at a training epoch boundary). numItems bounds
+// the candidate ids: 0..numItems-1.
+func NewIndex(ratings []dataset.Rating, numItems int) *Index {
+	ix := &Index{numItems: numItems, seen: make(map[uint32]map[uint32]bool)}
+	for _, r := range ratings {
+		s, ok := ix.seen[r.User]
+		if !ok {
+			s = make(map[uint32]bool)
+			ix.seen[r.User] = s
+		}
+		s[r.Item] = true
+	}
+	return ix
+}
+
+// NumItems returns the candidate range bound.
+func (ix *Index) NumItems() int { return ix.numItems }
+
+// Seen returns the user's exclusion set (nil for unknown users — every
+// item is then a candidate). Callers must not mutate it.
+func (ix *Index) Seen(user uint32) map[uint32]bool { return ix.seen[user] }
+
+// TopN ranks the n best unseen items for the user under the given
+// predictor — exactly TopN(m, user, ix.NumItems(), n, ix.Seen(user)), with
+// the seen set coming from the cache instead of a per-query scan.
+func (ix *Index) TopN(m Predictor, user uint32, n int) []Item {
+	return TopN(m, user, ix.numItems, n, ix.seen[user])
+}

@@ -19,10 +19,18 @@ type Item struct {
 	Score float32
 }
 
+// Predictor is the minimal surface ranking needs: a rating prediction per
+// (user, item) pair. model.Model satisfies it; so do adapters over
+// recommenders outside the model contract (e.g. internal/knn served from
+// a node's raw-data store).
+type Predictor interface {
+	Predict(user, item uint32) float32
+}
+
 // TopN returns the n highest-predicted items for a user, excluding the
 // items in seen (typically the user's training interactions). Candidates
 // are 0..numItems-1. Ties break toward lower item ids for determinism.
-func TopN(m model.Model, user uint32, numItems, n int, seen map[uint32]bool) []Item {
+func TopN(m Predictor, user uint32, numItems, n int, seen map[uint32]bool) []Item {
 	if n <= 0 || numItems <= 0 {
 		return nil
 	}

@@ -25,6 +25,7 @@ func (r *runner) attestAll() error {
 		if err := r.cfg.Endpoint.Send(nb, wrap(kindAttest, hello)); err != nil {
 			return err
 		}
+		r.stats.BytesOnWire += int64(1 + len(hello))
 	}
 	r.channels = make(map[int]*seccha.Channel, len(r.cfg.Neighbors))
 	remaining := len(exchanges)
@@ -57,6 +58,7 @@ func (r *runner) attestAll() error {
 			if err := r.cfg.Endpoint.Send(env.From, wrap(kindAttest, reply)); err != nil {
 				return err
 			}
+			r.stats.BytesOnWire += int64(1 + len(reply))
 		}
 		if ex.Complete() && r.channels[env.From] == nil {
 			key, err := ex.ChannelKey()

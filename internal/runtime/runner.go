@@ -1,11 +1,9 @@
 package runtime
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	goruntime "runtime"
 	"sort"
 	"sync"
@@ -84,6 +82,20 @@ type Config struct {
 	// Without it, scheduled losses surface through the RoundTimeout
 	// failure detector like any real loss.
 	SkipExpect func(from, epoch int) bool
+
+	// StartEpoch is the index of the first epoch this node executes —
+	// nonzero when a daemon resumes from a persisted snapshot (the node
+	// has already completed StartEpoch epochs). Gossip is
+	// rate-synchronized, not epoch-stamped: each round consumes one frame
+	// per live neighbor, so a resumed node interoperates with peers whose
+	// own epoch counters have advanced further.
+	StartEpoch int
+	// Publish makes the engine publish a read-consistent Snapshot (deep
+	// model clone + store copy) and Status after every epoch, for a
+	// serving layer to read without blocking training. Batch runs leave
+	// it off: cloning the model every epoch is pure overhead when nobody
+	// serves.
+	Publish bool
 }
 
 // Stats reports one node's run.
@@ -102,6 +114,13 @@ type Stats struct {
 	Wire time.Duration
 	// BytesIn/BytesOut count gossip traffic (post-encryption sizes).
 	BytesIn, BytesOut int64
+	// BytesOnWire counts every byte this node handed to the transport —
+	// gossip frames including the kind framing byte, attestation
+	// handshakes, and rejoin probes — the node's end-to-end outbound
+	// gossip volume. BytesOut, by contrast, counts only the payload bytes
+	// of accepted gossip sends; the gap between the two is framing and
+	// control overhead, the quantity the wire-efficiency work will squeeze.
+	BytesOnWire int64
 	// Attested counts completed attestation handshakes.
 	Attested int
 	// PeersLost counts neighbors dropped by the failure detector — round
@@ -128,31 +147,26 @@ type Stats struct {
 	FinalRMSE float64
 }
 
-// Run executes one node until Epochs complete. It returns after the
-// node's own last epoch; peers may still be finishing theirs.
+// Run executes one node as a batch job: epochs [StartEpoch,
+// StartEpoch+Epochs) on a fresh Engine, then Stop. It returns after the
+// node's own last epoch; peers may still be finishing theirs. Run is the
+// thin wrapper rexnode and the cluster drivers use; long-running daemons
+// drive the Engine directly.
 func Run(cfg Config) (*Stats, error) {
-	if cfg.Node == nil || cfg.Endpoint == nil {
-		return nil, fmt.Errorf("runtime: node and endpoint are required")
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Entropy == nil {
-		cfg.Entropy = rand.Reader
+	if err := e.Start(); err != nil {
+		return nil, err
 	}
-	r := &runner{
-		cfg:         cfg,
-		stats:       &Stats{},
-		neighbors:   append([]int(nil), cfg.Neighbors...),
-		pending:     make(map[int][][]byte),
-		sealScratch: make(map[int][]byte),
-	}
-	if cfg.Secure {
-		if cfg.Platform == nil || cfg.Infra == nil {
-			return nil, fmt.Errorf("runtime: secure mode requires a platform and infrastructure")
-		}
-		if err := r.attestAll(); err != nil {
-			return nil, fmt.Errorf("runtime: attestation: %w", err)
+	defer e.Stop()
+	for e.epoch < cfg.StartEpoch+cfg.Epochs && !e.draining.Load() {
+		if _, err := e.Step(); err != nil {
+			return e.r.stats, err
 		}
 	}
-	return r.stats, r.loop()
+	return e.r.stats, nil
 }
 
 type runner struct {
@@ -181,92 +195,6 @@ type runner struct {
 	sealScratch           map[int][]byte
 	// openScratch holds one plaintext buffer per gather worker slot.
 	openScratch [][]byte
-}
-
-// loop runs the epochs. Epoch 0 trains on local data only; every later
-// epoch first gathers one gossip frame from each neighbor (the Algorithm 2
-// line 13 barrier — RMW peers send empty notifications).
-func (r *runner) loop() error {
-	// Capture transport queue marks even when an epoch errors out, so
-	// failure-path Stats still show whether lanes were congested.
-	defer func() {
-		if q, ok := r.cfg.Endpoint.(QueueReporter); ok {
-			r.stats.SendQueueHWM = q.SendQueueHWM()
-		}
-		if f, ok := r.cfg.Endpoint.(FaultReporter); ok {
-			r.stats.DroppedFrames, r.stats.DelayedFrames = f.FaultCounts()
-		}
-	}()
-	self := r.cfg.Node.Cfg.ID
-	for e := 0; e < r.cfg.Epochs; e++ {
-		if r.absentAt(self, e) {
-			// Oracle churn: this node is scheduled offline this epoch.
-			// Neighbors neither wait for nor send to it (the symmetric
-			// rules in gatherRound/startShare), so it simply sits the
-			// round out; the trajectory records NaN for the gap.
-			r.stats.RMSE = append(r.stats.RMSE, math.NaN())
-			if r.cfg.OnEpoch != nil {
-				r.cfg.OnEpoch(e, math.NaN())
-			}
-			continue
-		}
-		deg := len(r.neighbors)
-		// --- gather + merge ---
-		t0 := time.Now()
-		var payloads []core.Payload
-		if e > 0 && !r.absentAt(self, e-1) {
-			// A node absent last epoch gathers nothing: nobody sent to it
-			// (startShare's send rule), exactly as a rejoining simulator
-			// node finds an empty inbox.
-			var err error
-			payloads, err = r.gatherRound(e)
-			if err != nil {
-				return fmt.Errorf("epoch %d: %w", e, err)
-			}
-		}
-		r.cfg.Node.Merge(payloads, deg)
-		r.stats.Merge += time.Since(t0)
-
-		// --- train ---
-		t0 = time.Now()
-		r.cfg.Node.Train()
-		r.stats.Train += time.Since(t0)
-
-		// --- share: payload building (RNG draws, serialization) stays on
-		// the protocol thread for determinism; sealing and sending move to
-		// a background goroutine so they overlap the test stage — the live
-		// analogue of the simulator's ShareParallel cost model.
-		t0 = time.Now()
-		sent, err := r.startShare(e)
-		if err != nil {
-			return fmt.Errorf("epoch %d: %w", e, err)
-		}
-		r.stats.Share += time.Since(t0)
-
-		// --- test (concurrent with the share sends) ---
-		t0 = time.Now()
-		rmse := r.cfg.Node.TestRMSE()
-		r.stats.Test += time.Since(t0)
-
-		res := <-sent
-		if res.err != nil {
-			return fmt.Errorf("epoch %d: %w", e, res.err)
-		}
-		r.stats.Share += res.dur
-		r.stats.Seal += res.seal
-		r.stats.Wire += res.wire
-		r.stats.BytesOut += res.bytes
-		for _, nb := range res.lost {
-			r.notePeerMiss(nb)
-		}
-
-		r.stats.RMSE = append(r.stats.RMSE, rmse)
-		r.stats.FinalRMSE = rmse
-		if r.cfg.OnEpoch != nil {
-			r.cfg.OnEpoch(e, rmse)
-		}
-	}
-	return nil
 }
 
 // recvStatus reports how a receive attempt ended.
@@ -605,12 +533,13 @@ func (r *runner) dropPeer(id int) {
 
 // shareResult is the outcome of one epoch's seal+send phase.
 type shareResult struct {
-	dur   time.Duration // wall time of the background phase
-	seal  time.Duration // summed across seal workers (may exceed dur)
-	wire  time.Duration // summed time handing frames to the transport
-	bytes int64
-	lost  []int // peers whose transport failed; the loop drops them
-	err   error // fatal: the node's own endpoint closed
+	dur       time.Duration // wall time of the background phase
+	seal      time.Duration // summed across seal workers (may exceed dur)
+	wire      time.Duration // summed time handing frames to the transport
+	bytes     int64         // payload bytes of accepted sends (Stats.BytesOut)
+	wireBytes int64         // full frame bytes incl. framing (Stats.BytesOnWire)
+	lost      []int         // peers whose transport failed; the loop drops them
+	err       error         // fatal: the node's own endpoint closed
 }
 
 // startShare builds this epoch's payloads synchronously — the node's RNG
@@ -748,6 +677,7 @@ func (r *runner) sendShare(neighbors, probes []int, targets map[int]bool) shareR
 		switch {
 		case o.err == nil:
 			res.bytes += o.n
+			res.wireBytes += o.n + 1 // +1: the kind framing byte
 		case errors.Is(o.err, errEndpointClosed):
 			res.err = o.err
 		case probe:

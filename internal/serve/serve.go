@@ -1,0 +1,365 @@
+// Package serve is the query side of a REX node daemon: an HTTP API over
+// the engine's published snapshots, turning the training process into a
+// recommendation service. It reads only immutable snapshots
+// (runtime.Engine Publish mode), so queries never block — and never race —
+// the training loop:
+//
+//	GET  /recommend?user=U&n=N[&model=knn]  ranked unseen items
+//	POST /rate                              online rating ingestion
+//	GET  /status                            control-plane counters
+//	GET  /peers                             live/lost neighbor sets
+//	POST /drain                             graceful stop of training
+//	GET  /snapshot                          serialized serving state
+//
+// Ranking goes through a cached candidate index (rank.Index) rebuilt once
+// per snapshot epoch, not per query; results are bit-identical to running
+// the uncached rank.TopN offline against the same snapshot — the contract
+// the daemon's acceptance test pins. model=knn serves user-based KNN from
+// the node's raw-data store through the same handler, the profile database
+// that raw-data sharing uniquely provides (§II-B).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"rex/internal/dataset"
+	"rex/internal/knn"
+	"rex/internal/rank"
+	"rex/internal/runtime"
+)
+
+// Node is the engine surface the server reads; *runtime.Engine implements
+// it. All methods must be safe for concurrent use.
+type Node interface {
+	// Snapshot returns the latest published read-consistent snapshot (nil
+	// until the first epoch completes).
+	Snapshot() *runtime.Snapshot
+	// Status returns the latest published control-plane view.
+	Status() *runtime.Status
+	// Ingest posts ratings into the training mailbox.
+	Ingest(rs []dataset.Rating) int
+	// Drain asks the training loop to stop after the current epoch.
+	Drain()
+}
+
+// Config wires a Server to its node.
+type Config struct {
+	// Node is the serving data source. Required.
+	Node Node
+	// ID is this node's id, echoed in /status.
+	ID int
+	// NumItems bounds ranking candidates: items 0..NumItems-1.
+	NumItems int
+	// KNN configures the model=knn serving path; zero value = defaults.
+	KNN knn.Config
+	// OnRate, when set, is called with accepted ratings BEFORE they are
+	// acknowledged or ingested — the daemon's durability hook (WAL
+	// append). An error rejects the request.
+	OnRate func(rs []dataset.Rating) error
+	// Drained, when set, is closed by the daemon once the training loop
+	// has fully drained (final snapshot persisted); /drain waits on it.
+	Drained <-chan struct{}
+	// Extra, when set, contributes additional fields to /status (e.g. the
+	// daemon's generation counter and data directory).
+	Extra func() map[string]any
+}
+
+// Server serves the HTTP API.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// Per-snapshot caches, rebuilt when the served epoch advances. The
+	// KNN recommender is built lazily: only queries asking for it pay the
+	// profile-database construction.
+	mu       sync.Mutex
+	cacheEp  int
+	index    *rank.Index
+	knnRec   *knn.Recommender
+	knnSnap  *runtime.Snapshot
+	knnBuilt bool
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("serve: node is required")
+	}
+	if cfg.NumItems <= 0 {
+		return nil, fmt.Errorf("serve: NumItems must be positive")
+	}
+	if cfg.KNN.K <= 0 {
+		cfg.KNN = knn.DefaultConfig()
+	}
+	s := &Server{cfg: cfg, cacheEp: -1, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
+	s.mux.HandleFunc("POST /rate", s.handleRate)
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.mux.HandleFunc("GET /peers", s.handlePeers)
+	s.mux.HandleFunc("POST /drain", s.handleDrain)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	return s, nil
+}
+
+// Handler returns the http.Handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// indexFor returns the candidate index for the snapshot, rebuilding the
+// cache if the snapshot advanced past the cached epoch.
+func (s *Server) indexFor(snap *runtime.Snapshot) *rank.Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Epoch != s.cacheEp {
+		s.index = rank.NewIndex(snap.Ratings, s.cfg.NumItems)
+		s.cacheEp = snap.Epoch
+		s.knnBuilt = false
+		s.knnRec, s.knnSnap = nil, nil
+	}
+	return s.index
+}
+
+// knnFor returns the KNN recommender built over the snapshot's raw-data
+// store, building it on first use per epoch.
+func (s *Server) knnFor(snap *runtime.Snapshot) *knn.Recommender {
+	s.indexFor(snap) // ensure cache generation matches
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.knnBuilt || s.knnSnap != snap {
+		s.knnRec = knn.New(s.cfg.KNN, snap.Ratings)
+		s.knnSnap = snap
+		s.knnBuilt = true
+	}
+	return s.knnRec
+}
+
+// knnPredictor adapts internal/knn to rank.Predictor.
+type knnPredictor struct{ r *knn.Recommender }
+
+func (p knnPredictor) Predict(user, item uint32) float32 {
+	return float32(p.r.Predict(user, item))
+}
+
+// RecommendItem is one /recommend list entry.
+type RecommendItem struct {
+	Item  uint32  `json:"item"`
+	Score float32 `json:"score"`
+}
+
+// RecommendResponse is the /recommend payload.
+type RecommendResponse struct {
+	User  uint32          `json:"user"`
+	Epoch int             `json:"epoch"`
+	Model string          `json:"model"`
+	Items []RecommendItem `json:"items"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Node.Snapshot()
+	if snap == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no model snapshot yet; still training epoch 0")
+		return
+	}
+	q := r.URL.Query()
+	user, err := strconv.ParseUint(q.Get("user"), 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "user: %v", err)
+		return
+	}
+	n := 10
+	if v := q.Get("n"); v != "" {
+		n, err = strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+	}
+	if n > s.cfg.NumItems {
+		n = s.cfg.NumItems
+	}
+	ix := s.indexFor(snap)
+	var pred rank.Predictor
+	modelName := q.Get("model")
+	switch modelName {
+	case "", "mf", "model":
+		pred = snap.Model
+		modelName = "mf"
+	case "knn":
+		pred = knnPredictor{r: s.knnFor(snap)}
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown model %q (want mf or knn)", modelName)
+		return
+	}
+	items := ix.TopN(pred, uint32(user), n)
+	resp := RecommendResponse{
+		User: uint32(user), Epoch: snap.Epoch, Model: modelName,
+		Items: make([]RecommendItem, len(items)),
+	}
+	for i, it := range items {
+		resp.Items[i] = RecommendItem{Item: it.ID, Score: it.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Rating is the /rate request item.
+type Rating struct {
+	User  uint32  `json:"user"`
+	Item  uint32  `json:"item"`
+	Value float32 `json:"value"`
+}
+
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var batch []Rating
+	// Accept a single object or an array.
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		writeErr(w, http.StatusBadRequest, "body: %v", err)
+		return
+	}
+	if len(raw) > 0 && raw[0] == '[' {
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			writeErr(w, http.StatusBadRequest, "body: %v", err)
+			return
+		}
+	} else {
+		var one Rating
+		if err := json.Unmarshal(raw, &one); err != nil {
+			writeErr(w, http.StatusBadRequest, "body: %v", err)
+			return
+		}
+		batch = []Rating{one}
+	}
+	if len(batch) == 0 {
+		writeJSON(w, http.StatusOK, map[string]int{"accepted": 0})
+		return
+	}
+	rs := make([]dataset.Rating, len(batch))
+	for i, b := range batch {
+		if b.Value < 0.5 || b.Value > 5 {
+			writeErr(w, http.StatusBadRequest, "rating %d: value %v outside [0.5, 5]", i, b.Value)
+			return
+		}
+		if int(b.Item) >= s.cfg.NumItems {
+			writeErr(w, http.StatusBadRequest, "rating %d: item %d outside catalog of %d", i, b.Item, s.cfg.NumItems)
+			return
+		}
+		rs[i] = dataset.Rating{User: b.User, Item: b.Item, Value: b.Value}
+	}
+	// Durability before acknowledgment: the WAL append happens first, so a
+	// crash after the 200 can never lose an acknowledged rating.
+	if s.cfg.OnRate != nil {
+		if err := s.cfg.OnRate(rs); err != nil {
+			writeErr(w, http.StatusInternalServerError, "persisting: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": s.cfg.Node.Ingest(rs)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Node.Status()
+	if st == nil {
+		writeErr(w, http.StatusServiceUnavailable, "engine not started")
+		return
+	}
+	rmse := st.RMSE
+	if math.IsNaN(rmse) {
+		rmse = -1 // JSON has no NaN
+	}
+	out := map[string]any{
+		"id":            s.cfg.ID,
+		"epoch":         st.Epoch,
+		"rmse":          rmse,
+		"draining":      st.Draining,
+		"ingested":      st.Ingested,
+		"bytes_in":      st.BytesIn,
+		"bytes_out":     st.BytesOut,
+		"bytes_on_wire": st.BytesOnWire,
+		"peers_lost":    st.PeersLost,
+		"rejoins":       st.Rejoins,
+		"attested":      st.Attested,
+		"num_items":     s.cfg.NumItems,
+	}
+	if snap := s.cfg.Node.Snapshot(); snap != nil {
+		out["snapshot_epoch"] = snap.Epoch
+	}
+	if s.cfg.Extra != nil {
+		for k, v := range s.cfg.Extra() {
+			out[k] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Node.Status()
+	if st == nil {
+		writeErr(w, http.StatusServiceUnavailable, "engine not started")
+		return
+	}
+	neighbors, lost := st.Neighbors, st.Lost
+	if neighbors == nil {
+		neighbors = []int{}
+	}
+	if lost == nil {
+		lost = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"neighbors": neighbors, "lost": lost})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.cfg.Node.Drain()
+	if s.cfg.Drained != nil {
+		select {
+		case <-s.cfg.Drained:
+		case <-r.Context().Done():
+			writeErr(w, http.StatusGatewayTimeout, "drain still in progress")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"draining": true})
+}
+
+// SnapshotResponse is the /snapshot payload: enough to reconstruct the
+// serving state offline (model bytes unmarshal into the model family the
+// cluster runs; ratings decode with dataset.DecodeRatings) and verify
+// /recommend bit for bit.
+type SnapshotResponse struct {
+	Epoch    int     `json:"epoch"`
+	RMSE     float64 `json:"rmse"`
+	NumItems int     `json:"num_items"`
+	Model    []byte  `json:"model"`   // base64 in JSON
+	Ratings  []byte  `json:"ratings"` // dataset.EncodeRatings, base64 in JSON
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.cfg.Node.Snapshot()
+	if snap == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no model snapshot yet")
+		return
+	}
+	mb, err := snap.Model.Marshal()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "marshaling model: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Epoch: snap.Epoch, RMSE: snap.RMSE, NumItems: s.cfg.NumItems,
+		Model: mb, Ratings: dataset.EncodeRatings(snap.Ratings),
+	})
+}
