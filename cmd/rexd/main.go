@@ -41,6 +41,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -260,7 +261,11 @@ func run(o daemonOpts) error {
 		engine.Drain()
 	}()
 
-	generation := 0
+	// generation is read by /status handlers while the loop increments it.
+	var generation atomic.Int64
+	// drainErr is written before drained closes (that close is the /drain
+	// waiters' happens-before edge), so handlers read it safely after.
+	var drainErr error
 	drained := make(chan struct{})
 	var httpSrv *http.Server
 	if o.httpAddr != "" {
@@ -274,10 +279,11 @@ func run(o daemonOpts) error {
 				defer dirMu.Unlock()
 				return dir.Append(rs)
 			},
-			Drained: drained,
+			Drained:  drained,
+			DrainErr: func() error { return drainErr },
 			Extra: func() map[string]any {
 				return map[string]any{
-					"generation": generation,
+					"generation": generation.Load(),
 					"data_dir":   o.dataDir,
 					"resumed":    resumed,
 				}
@@ -316,22 +322,22 @@ func run(o daemonOpts) error {
 	// The generation loop: train gen-epochs epochs, persist, repeat. The
 	// serving path reads published snapshots concurrently the whole time.
 	var loopErr error
-	for !engine.Draining() && (o.generations == 0 || generation < o.generations) {
+	for !engine.Draining() && (o.generations == 0 || generation.Load() < int64(o.generations)) {
 		for k := 0; k < o.genEpochs && !engine.Draining(); k++ {
 			if _, err := engine.Step(); err != nil {
 				loopErr = err
 				break
 			}
 		}
-		generation++
+		gen := generation.Add(1)
 		if loopErr != nil {
 			break
 		}
 		if err := persist(); err != nil {
-			loopErr = fmt.Errorf("persisting generation %d: %w", generation, err)
+			loopErr = fmt.Errorf("persisting generation %d: %w", gen, err)
 			break
 		}
-		log.Printf("node %d: generation %d done (epoch %d persisted)", o.id, generation, engine.Epoch())
+		log.Printf("node %d: generation %d done (epoch %d persisted)", o.id, gen, engine.Epoch())
 	}
 	engine.Drain() // reflect the stop in /status for late observers
 	if loopErr == nil {
@@ -340,6 +346,7 @@ func run(o daemonOpts) error {
 		}
 	}
 	engine.Stop()
+	drainErr = loopErr
 	close(drained)
 	if httpSrv != nil {
 		// Let in-flight handlers (notably /drain waiters) finish.

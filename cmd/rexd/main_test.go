@@ -100,8 +100,15 @@ func TestDaemonClusterServeResumeRejoin(t *testing.T) {
 		t.Skip("builds and execs rexd")
 	}
 	bin := filepath.Join(t.TempDir(), "rexd")
-	if out, err := exec.Command("go", "build", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err != nil {
-		t.Skipf("cannot build rexd: %v\n%s", err, out)
+	// Prefer a race-instrumented daemon: the HTTP handlers race the
+	// training loop by construction, and an exec'd plain binary would hide
+	// any data race from CI. Fall back to a plain build on platforms
+	// without race support.
+	if out, err := exec.Command("go", "build", "-race", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err != nil {
+		t.Logf("race build unavailable (%v), building without -race:\n%s", err, out)
+		if out, err := exec.Command("go", "build", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err != nil {
+			t.Skipf("cannot build rexd: %v\n%s", err, out)
+		}
 	}
 	gossip := freePorts(t, 2)
 	web := freePorts(t, 2)

@@ -62,8 +62,13 @@ type Config struct {
 	// append). An error rejects the request.
 	OnRate func(rs []dataset.Rating) error
 	// Drained, when set, is closed by the daemon once the training loop
-	// has fully drained (final snapshot persisted); /drain waits on it.
+	// has stopped; /drain waits on it.
 	Drained <-chan struct{}
+	// DrainErr, when set, is consulted after Drained closes: a non-nil
+	// error means the drain did not complete cleanly (e.g. the final
+	// snapshot failed to persist), and /drain reports 500 instead of
+	// claiming a clean drain. Must be safe to call once Drained is closed.
+	DrainErr func() error
 	// Extra, when set, contributes additional fields to /status (e.g. the
 	// daemon's generation counter and data directory).
 	Extra func() map[string]any
@@ -327,6 +332,12 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Drained != nil {
 		select {
 		case <-s.cfg.Drained:
+			if s.cfg.DrainErr != nil {
+				if err := s.cfg.DrainErr(); err != nil {
+					writeErr(w, http.StatusInternalServerError, "drain did not complete cleanly: %v", err)
+					return
+				}
+			}
 		case <-r.Context().Done():
 			writeErr(w, http.StatusGatewayTimeout, "drain still in progress")
 			return
@@ -358,8 +369,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "marshaling model: %v", err)
 		return
 	}
+	rmse := snap.RMSE
+	if math.IsNaN(rmse) {
+		rmse = -1 // JSON has no NaN; same substitution as /status
+	}
 	writeJSON(w, http.StatusOK, SnapshotResponse{
-		Epoch: snap.Epoch, RMSE: snap.RMSE, NumItems: s.cfg.NumItems,
+		Epoch: snap.Epoch, RMSE: rmse, NumItems: s.cfg.NumItems,
 		Model: mb, Ratings: dataset.EncodeRatings(snap.Ratings),
 	})
 }

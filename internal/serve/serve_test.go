@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -158,6 +159,62 @@ func TestDrainWaitsForDrained(t *testing.T) {
 	w, _ := post(t, s.Handler(), "/drain", "")
 	if w.Code != http.StatusOK || !n.drained {
 		t.Fatalf("/drain: %d drained=%v", w.Code, n.drained)
+	}
+}
+
+// TestDrainReportsDirtyDrain pins that /drain does not claim a clean
+// drain when the daemon's loop ended in error (the final snapshot was
+// never persisted): the waiter gets a 500 carrying the loop error.
+func TestDrainReportsDirtyDrain(t *testing.T) {
+	n := &fakeNode{status: &runtime.Status{}}
+	ch := make(chan struct{})
+	close(ch)
+	s, err := New(Config{Node: n, NumItems: 4, Drained: ch, DrainErr: func() error {
+		return fmt.Errorf("final snapshot: disk gone")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, body := post(t, s.Handler(), "/drain", "")
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("/drain after failed final persist: %d %v, want 500", w.Code, body)
+	}
+	if !strings.Contains(body["error"].(string), "disk gone") {
+		t.Fatalf("error body %v does not carry the loop error", body)
+	}
+
+	// A clean drain (nil DrainErr result) still returns 200.
+	s2, err := New(Config{Node: n, NumItems: 4, Drained: ch, DrainErr: func() error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := post(t, s2.Handler(), "/drain", ""); w.Code != http.StatusOK {
+		t.Fatalf("clean /drain: %d, want 200", w.Code)
+	}
+}
+
+// TestSnapshotNaNRMSESanitized: a node whose test partition is empty has a
+// NaN RMSE, which json.Encoder refuses to emit — after the 200 header is
+// already written. /snapshot must apply the same NaN→-1 substitution as
+// /status so the body stays well-formed JSON.
+func TestSnapshotNaNRMSESanitized(t *testing.T) {
+	n := &fakeNode{
+		status: &runtime.Status{},
+		snap: &runtime.Snapshot{
+			Epoch: 3, RMSE: math.NaN(), Model: mf.New(mf.DefaultConfig()),
+			Ratings: []dataset.Rating{{User: 1, Item: 2, Value: 3}},
+		},
+	}
+	s, err := New(Config{Node: n, NumItems: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, body := get(t, s.Handler(), "/snapshot")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/snapshot with NaN RMSE: %d %v", w.Code, body)
+	}
+	if body["rmse"].(float64) != -1 {
+		t.Fatalf("rmse %v, want the -1 NaN substitute", body["rmse"])
 	}
 }
 

@@ -13,9 +13,14 @@
 //
 //   - A rating write-ahead log (wal-<epoch>.rex): ratings ingested online
 //     (serve's /rate) between snapshots, appended as CRC-framed records
-//     and fsynced before the ingestion is acknowledged. On restart the
-//     log is replayed on top of the snapshot; a torn tail record (crash
-//     mid-append) is detected by its CRC and dropped.
+//     and fsynced before the ingestion is acknowledged. On restart every
+//     retained log is replayed on top of the snapshot — including logs
+//     older than the snapshot's epoch, because a rating logged moments
+//     before a capture may not have reached the node store yet (it can
+//     still sit in the engine's ingestion mailbox). Replay is idempotent:
+//     the node store dedups on (user, item) with newest-value-wins, and
+//     logs replay in epoch order. A torn tail record (crash mid-append)
+//     is detected by its CRC and dropped.
 //
 // Gossip-merged data between snapshots is deliberately NOT logged: REX
 // sampling is stateless, so anything lost to a crash is re-gossiped by
@@ -130,9 +135,11 @@ func (d *Dir) list(prefix string) ([]int, error) {
 }
 
 // SaveSnapshot atomically persists the node state and rotates the WAL: a
-// new empty log keyed to this epoch is opened (everything the old logs
-// held is subsumed by the snapshot's store contents), and snapshots and
-// logs older than the previous snapshot are pruned. The model serializes
+// new empty log keyed to this epoch is opened, and snapshots and logs
+// older than the previous snapshot are pruned. The rotated-away log is
+// NOT assumed subsumed by the snapshot — a rating appended to it just
+// before the capture may still be in flight toward the node store — so it
+// is retained until pruning and replayed by Load. The model serializes
 // through model.AppendMarshaler when implemented, reusing one buffer
 // across snapshots.
 func (d *Dir) SaveSnapshot(epoch int, rmse float64, m model.Model, ratings []dataset.Rating) error {
@@ -202,8 +209,12 @@ func (d *Dir) rotateWAL(epoch int) error {
 }
 
 // prune keeps the newest snapshot plus one fallback, and every WAL at or
-// after the oldest kept snapshot (the fallback path needs those logs to
-// replay forward).
+// after the oldest kept snapshot: the fallback path needs those logs to
+// replay forward, and the newest snapshot's capture may predate ratings
+// logged against the previous epoch (mailbox lag). A WAL is deleted only
+// once two newer snapshots exist — by then the engine has drained its
+// mailbox at least a full generation after the log rotated away, so every
+// rating the log held is in the newest snapshot's store.
 func (d *Dir) prune(newest int) error {
 	snaps, err := d.list(snapPrefix)
 	if err != nil {
@@ -262,10 +273,16 @@ func (d *Dir) Append(rs []dataset.Rating) error {
 }
 
 // Load restores the newest valid persisted state: the snapshot (nil if the
-// directory holds none — a fresh node) and the ratings replayed from the
-// WALs at or after it, in log order. A corrupt newest snapshot falls back
-// to the previous one; a torn WAL tail is dropped with the records before
-// it preserved. Load also positions the WAL so subsequent Appends continue
+// directory holds none — a fresh node) and the ratings replayed from every
+// retained WAL, in log order — including WALs keyed before the snapshot's
+// epoch. A rating acknowledged just before a capture can be in the log of
+// the *previous* epoch while not yet in the captured store (it is still in
+// the engine's ingestion mailbox), so skipping older logs would silently
+// drop an acknowledged rating across kill -9 + resume; replaying them is
+// safe because the node store dedups on (user, item) newest-wins and logs
+// replay oldest-first. A corrupt newest snapshot falls back to the
+// previous one; a torn WAL tail is dropped with the records before it
+// preserved. Load also positions the WAL so subsequent Appends continue
 // the newest log.
 func (d *Dir) Load() (*Snapshot, []dataset.Rating, error) {
 	snaps, err := d.list(snapPrefix)
@@ -281,10 +298,6 @@ func (d *Dir) Load() (*Snapshot, []dataset.Rating, error) {
 		}
 		snap = s
 	}
-	from := 0
-	if snap != nil {
-		from = snap.Epoch
-	}
 	wals, err := d.list(walPrefix)
 	if err != nil {
 		return nil, nil, err
@@ -292,9 +305,6 @@ func (d *Dir) Load() (*Snapshot, []dataset.Rating, error) {
 	var replayed []dataset.Rating
 	newestWAL := -1
 	for _, ep := range wals {
-		if ep < from {
-			continue
-		}
 		rs, err := readWAL(d.walName(ep))
 		if err != nil {
 			return nil, nil, err
@@ -307,8 +317,8 @@ func (d *Dir) Load() (*Snapshot, []dataset.Rating, error) {
 		if err := d.reopenWAL(newestWAL); err != nil {
 			return nil, nil, err
 		}
-	} else {
-		d.walEpoch = from
+	} else if snap != nil {
+		d.walEpoch = snap.Epoch
 	}
 	return snap, replayed, nil
 }

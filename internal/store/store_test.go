@@ -141,7 +141,10 @@ func TestWALReplayAndRotation(t *testing.T) {
 		t.Fatalf("replayed %d ratings after continued appends, want 9", len(replayed))
 	}
 
-	// A new snapshot rotates the WAL: nothing to replay afterwards.
+	// A new snapshot rotates the WAL, but the rotated-away log is retained
+	// and still replayed: a rating logged just before the capture may not
+	// have reached the captured store (engine mailbox lag), and replay is
+	// idempotent (the node store dedups), so Load replays everything kept.
 	if err := d3.SaveSnapshot(5, 0.9, m, testRatings(19, 0)); err != nil {
 		t.Fatal(err)
 	}
@@ -154,8 +157,64 @@ func TestWALReplayAndRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Epoch != 5 || len(replayed) != 0 {
-		t.Fatalf("after rotation: epoch %d, %d replayed", snap.Epoch, len(replayed))
+	if snap.Epoch != 5 || len(replayed) != 9 {
+		t.Fatalf("after rotation: epoch %d, %d replayed, want 5 and the previous log's 9", snap.Epoch, len(replayed))
+	}
+}
+
+// TestAckedRatingSurvivesSnapshotRotation pins the durability contract
+// across the rotation boundary: a rating WAL-appended (and therefore
+// 200-acknowledged) moments before SaveSnapshot lands in the log keyed at
+// the *previous* epoch, while the snapshot's store — captured before the
+// rating left the engine mailbox — does not contain it. kill -9 right
+// after the save must still recover the rating on Load, even though its
+// log is older than the chosen snapshot.
+func TestAckedRatingSurvivesSnapshotRotation(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	m := trainedModel(t)
+	if err := d.SaveSnapshot(2, 1.0, m, testRatings(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	acked := dataset.Rating{User: 999_999, Item: 3, Value: 4.5}
+	if err := d.Append([]dataset.Rating{acked}); err != nil {
+		t.Fatal(err)
+	}
+	// The next snapshot was captured WITHOUT the acked rating (it was
+	// still in the mailbox) and rotates the WAL to epoch 4.
+	if err := d.SaveSnapshot(4, 0.9, m, testRatings(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// "kill -9": reopen without Close and load.
+	d2, err := Open(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	snap, replayed, err := d2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Epoch != 4 {
+		t.Fatalf("loaded %+v, want the epoch-4 snapshot", snap)
+	}
+	for _, r := range snap.Ratings {
+		if r == acked {
+			t.Fatal("test premise broken: snapshot already holds the rating")
+		}
+	}
+	found := false
+	for _, r := range replayed {
+		if r == acked {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("acknowledged rating lost across rotation: %d replayed, none match %+v", len(replayed), acked)
 	}
 }
 
