@@ -407,7 +407,7 @@ func BenchmarkSimWorkers(b *testing.B) {
 // workload (degree 7, D-PSGD raw-data sharing). Training is deliberately
 // light (50 SGD steps) and sharing heavy (400 points/epoch) so the bench
 // weights the runtime's crypto/codec/transport path, not the MF kernel.
-func liveClusterConfig(b *testing.B, secure bool, epochs int) runtime.ClusterConfig {
+func liveClusterConfig(b *testing.B, secure bool, wire runtime.WireMode, epochs int) runtime.ClusterConfig {
 	b.Helper()
 	const seed = 33
 	const n = 8
@@ -434,7 +434,7 @@ func liveClusterConfig(b *testing.B, secure bool, epochs int) runtime.ClusterCon
 	}
 	return runtime.ClusterConfig{
 		Graph: topology.FullyConnected(n), Nodes: nodes, Epochs: epochs,
-		Secure:   secure,
+		Secure: secure, Wire: wire,
 		NewModel: func() model.Model { return mf.New(mcfg) },
 	}
 }
@@ -442,19 +442,28 @@ func liveClusterConfig(b *testing.B, secure bool, epochs int) runtime.ClusterCon
 // BenchmarkClusterEpoch measures the live in-proc cluster (8 nodes, full
 // mesh, D-PSGD data sharing) with REX protections on and off. One op is a
 // whole cluster run; the ms/epoch metric divides out the epoch count
-// (secure ops also pay the one-time 28-pair attestation).
+// (secure ops also pay the one-time 28-pair attestation). The bare
+// native/secure names run the default delta wire — those are the headline
+// numbers — and the -fullwire variants re-run the identical workload on
+// flat frames so the wireB/epoch ratio between the two is the delta
+// encoder's measured saving (gated by cmd/benchgate -wire).
 func BenchmarkClusterEpoch(b *testing.B) {
 	const epochs = 6
-	for _, secure := range []bool{false, true} {
-		name := "native"
-		if secure {
-			name = "secure"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		secure bool
+		wire   runtime.WireMode
+	}{
+		{"native", false, runtime.WireDelta},
+		{"secure", true, runtime.WireDelta},
+		{"native-fullwire", false, runtime.WireFull},
+		{"secure-fullwire", true, runtime.WireFull},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
 			var wire int64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				cfg := liveClusterConfig(b, secure, epochs)
+				cfg := liveClusterConfig(b, bc.secure, bc.wire, epochs)
 				b.StartTimer()
 				stats, err := runtime.RunCluster(cfg)
 				if err != nil {
@@ -511,6 +520,45 @@ func BenchmarkTCPShareRound(b *testing.B) {
 			}
 		}
 		for p := 0; p < peers; p++ {
+			<-acks
+		}
+	}
+}
+
+// BenchmarkWireBatch measures the TCP lane's frame coalescing: one op
+// bursts a 16-frame wave (the lane batch cap) at a single peer and waits
+// for all deliveries. Because the sends enqueue far faster than the lane
+// drains, the writer coalesces the queue into vectored writes — compare
+// MB/s here against BenchmarkTCPShareRound's one-frame-per-write path.
+func BenchmarkWireBatch(b *testing.B) {
+	const burst = 16
+	recv, err := runtime.NewTCPNet(1, "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recv.Close()
+	acks := make(chan struct{}, 2*burst)
+	go func() {
+		for range recv.Inbox() {
+			acks <- struct{}{}
+		}
+	}()
+	hub, err := runtime.NewTCPNet(0, "127.0.0.1:0", map[int]string{1: recv.Addr().String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer hub.Close()
+
+	frame := make([]byte, 4<<10) // ~ a delta share frame after packing
+	b.SetBytes(int64(burst * len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < burst; f++ {
+			if err := hub.Send(1, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for f := 0; f < burst; f++ {
 			<-acks
 		}
 	}

@@ -19,6 +19,16 @@
 //
 // The minimum ns/op across -count repetitions is used on both sides,
 // which discards scheduler hiccups instead of averaging them in.
+//
+// A second mode gates the delta wire encoder instead of the SIMD kernels:
+//
+//	go test -run '^$' -bench BenchmarkClusterEpoch -benchtime 5x . > wire.txt
+//	go run ./cmd/benchgate -wire wire.txt -wirefloor 3.0
+//
+// compares the wireB/epoch metric of the -fullwire cluster variants
+// against their delta-default twins and fails if the saving ratio drops
+// below the floor. Same philosophy: both sides come from one run of one
+// binary, so the quotient isolates the encoder.
 package main
 
 import (
@@ -51,41 +61,90 @@ type kernel struct {
 	Gate       bool    `json:"gate"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+?)?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// metricLine matches one `go test -bench` result line carrying the given
+// unit (ns/op, wireB/epoch, ...) and captures the benchmark name (CPU-count
+// suffix stripped) and the metric value.
+func metricLine(unit string) *regexp.Regexp {
+	return regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+?)?)(?:-\d+)?\s+\d+\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ` +
+		regexp.QuoteMeta(unit))
+}
 
-// parseBench returns the minimum ns/op per benchmark name (CPU-count
-// suffix stripped) across all repetitions in a `go test -bench` output.
-func parseBench(path string) (map[string]float64, error) {
+// parseBench returns the minimum value of one metric per benchmark name
+// across all repetitions in a `go test -bench` output.
+func parseBench(path, unit string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	re := metricLine(unit)
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		m := re.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		v, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			continue
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		if prev, ok := out[m[1]]; !ok || v < prev {
+			out[m[1]] = v
 		}
 	}
 	return out, sc.Err()
+}
+
+// wireGate checks the delta-wire saving: in one bench output holding all
+// four BenchmarkClusterEpoch variants, the -fullwire wireB/epoch divided
+// by the delta-default wireB/epoch must stay at or above the floor for
+// both the native and secure clusters. Like the SIMD gate this is a
+// same-run ratio — the workload is identical on both sides, so the only
+// thing the quotient can measure is the encoder.
+func wireGate(path string, floor float64) bool {
+	wire, err := parseBench(path, "wireB/epoch")
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	fmt.Printf("%-34s %14s %14s %9s %9s  %s\n", "cluster", "full B/epoch", "delta B/epoch", "ratio", "floor", "verdict")
+	for _, mode := range []string{"native", "secure"} {
+		name := "BenchmarkClusterEpoch/" + mode
+		full, okF := wire[name+"-fullwire"]
+		delta, okD := wire[name]
+		if !okF || !okD || delta == 0 {
+			fmt.Printf("%-34s missing wireB/epoch (full=%v delta=%v)\n", name, okF, okD)
+			failed = true
+			continue
+		}
+		ratio := full / delta
+		verdict := "ok"
+		if ratio < floor {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %8.2fx %8.2fx  %s\n", name, full, delta, ratio, floor, verdict)
+	}
+	return failed
 }
 
 func main() {
 	basePath := flag.String("baseline", "BENCH_vec.json", "baseline JSON with gated speedup floors")
 	slowPath := flag.String("slow", "", "bench output of the REX_VEC=go run")
 	fastPath := flag.String("fast", "", "bench output of the dispatched run")
+	wirePath := flag.String("wire", "", "bench output holding BenchmarkClusterEpoch (delta + fullwire variants); gates the wire-byte ratio instead of the SIMD speedup")
+	wireFloor := flag.Float64("wirefloor", 3.0, "minimum fullwire/delta wireB/epoch ratio")
 	flag.Parse()
+	if *wirePath != "" {
+		if wireGate(*wirePath, *wireFloor) {
+			fmt.Fprintln(os.Stderr, "benchgate: delta wire saving regressed below the floor")
+			os.Exit(1)
+		}
+		return
+	}
 	if *slowPath == "" || *fastPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -slow and -fast are required")
+		fmt.Fprintln(os.Stderr, "benchgate: -slow and -fast are required (or -wire for the wire-byte gate)")
 		os.Exit(2)
 	}
 
@@ -97,11 +156,11 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", *basePath, err))
 	}
-	slow, err := parseBench(*slowPath)
+	slow, err := parseBench(*slowPath, "ns/op")
 	if err != nil {
 		fatal(err)
 	}
-	fast, err := parseBench(*fastPath)
+	fast, err := parseBench(*fastPath, "ns/op")
 	if err != nil {
 		fatal(err)
 	}

@@ -69,6 +69,7 @@ func main() {
 		modeStr   = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
 		algoStr   = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
 		secure    = flag.Bool("secure", false, "attest peers and encrypt gossip; incompatible with -resume")
+		wireStr   = flag.String("wire", "delta", "gossip wire encoding: delta (per-peer delta frames) or full (flat frames)")
 		seed      = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
 		scale     = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
 		points    = flag.Int("share", 100, "raw data points shared per epoch")
@@ -80,7 +81,7 @@ func main() {
 	if err := run(daemonOpts{
 		id: *id, nodes: *nodes, httpAddr: *httpAddr, dataDir: *dataDir,
 		resume: *resume, generations: *gens, genEpochs: *genEpochs,
-		modeStr: *modeStr, algoStr: *algoStr, secure: *secure,
+		modeStr: *modeStr, algoStr: *algoStr, secure: *secure, wireStr: *wireStr,
 		seed: *seed, scale: *scale, points: *points, steps: *steps,
 		roundTimeout: *roundTO, peerGrace: *grace,
 	}); err != nil {
@@ -99,6 +100,7 @@ type daemonOpts struct {
 	modeStr      string
 	algoStr      string
 	secure       bool
+	wireStr      string
 	seed         int64
 	scale        float64
 	points       int
@@ -113,6 +115,10 @@ func run(o daemonOpts) error {
 		return err
 	}
 	algo, err := gossip.ParseAlgo(o.algoStr)
+	if err != nil {
+		return err
+	}
+	wire, err := runtime.ParseWireMode(o.wireStr)
 	if err != nil {
 		return err
 	}
@@ -211,6 +217,7 @@ func run(o daemonOpts) error {
 	cfg := runtime.Config{
 		Node: node, Endpoint: ep, Neighbors: neighbors,
 		Secure:     o.secure,
+		Wire:       wire,
 		NewModel:   func() model.Model { return mf.New(mcfg) },
 		StartEpoch: startEpoch,
 		Publish:    true,
@@ -358,7 +365,12 @@ func run(o daemonOpts) error {
 		return loopErr
 	}
 	st := engine.Stats()
-	log.Printf("node %d drained at epoch %d: final RMSE %.6f | in %d B out %d B wire %d B | lost %d rejoined %d",
-		o.id, engine.Epoch(), st.FinalRMSE, st.BytesIn, st.BytesOut, st.BytesOnWire, st.PeersLost, st.Rejoins)
+	saved := st.WireRawBytes - st.BytesOnWire
+	if saved < 0 {
+		saved = 0
+	}
+	log.Printf("node %d drained at epoch %d: final RMSE %.6f | in %d B out %d B wire %d B | delta saved %d B refs %d explicit %d resyncs %d | lost %d rejoined %d",
+		o.id, engine.Epoch(), st.FinalRMSE, st.BytesIn, st.BytesOut, st.BytesOnWire,
+		saved, st.DeltaRefs, st.DeltaExplicit, st.Resyncs, st.PeersLost, st.Rejoins)
 	return nil
 }

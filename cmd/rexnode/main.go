@@ -51,6 +51,7 @@ type options struct {
 	mode     core.Mode
 	algo     gossip.Algo
 	secure   bool
+	wire     runtime.WireMode
 	seed     int64
 	scale    float64
 	points   int
@@ -69,6 +70,7 @@ func main() {
 		modeStr  = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
 		algoStr  = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
 		secure   = flag.Bool("secure", true, "attest peers and encrypt gossip (REX); false = native plaintext")
+		wireStr  = flag.String("wire", "delta", "gossip wire encoding: delta (per-peer delta frames) or full (flat frames)")
 		seed     = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
 		scale    = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
 		points   = flag.Int("share", 100, "raw data points shared per epoch")
@@ -85,8 +87,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("rexnode: %v", err)
 	}
+	wire, err := runtime.ParseWireMode(*wireStr)
+	if err != nil {
+		log.Fatalf("rexnode: %v", err)
+	}
 	opts := options{
-		epochs: *epochs, mode: mode, algo: algo, secure: *secure,
+		epochs: *epochs, mode: mode, algo: algo, secure: *secure, wire: wire,
 		seed: *seed, scale: *scale, points: *points, steps: *steps,
 	}
 	if *scenario != "" {
@@ -180,6 +186,7 @@ func runSingle(id int, nodesList string, o options) {
 	cfg := runtime.Config{
 		Node: node, Endpoint: ep, Neighbors: neighbors, Epochs: o.epochs,
 		Secure:   o.secure,
+		Wire:     o.wire,
 		NewModel: func() model.Model { return mf.New(mcfg) },
 		OnEpoch: func(e int, rmse float64) {
 			if e%10 == 0 || e == o.epochs-1 {
@@ -236,6 +243,7 @@ func runSharded(shardSpec, peersList string, n int, o options) {
 		ListenAddr: addrs[shard], ShardAddrs: shardAddrs,
 		Epochs:   o.epochs,
 		Secure:   o.secure,
+		Wire:     o.wire,
 		NewModel: func() model.Model { return mf.New(mcfg) },
 		OnEpoch: func(node, e int, rmse float64) {
 			if e%10 == 0 || e == o.epochs-1 {
@@ -260,8 +268,13 @@ func runSharded(shardSpec, peersList string, n int, o options) {
 }
 
 func printStats(id int, s *runtime.Stats) {
-	fmt.Printf("node %d done: final RMSE %.10f | merge %v train %v share %v test %v | seal %v open %v wire %v | in %d B out %d B | attested %d | lost %d rejoined %d | faults dropped %d delayed %d | queue hwm %d\n",
+	saved := s.WireRawBytes - s.BytesOnWire
+	if saved < 0 {
+		saved = 0
+	}
+	fmt.Printf("node %d done: final RMSE %.10f | merge %v train %v share %v test %v | seal %v open %v wire %v | in %d B out %d B on-wire %d B | delta saved %d B refs %d explicit %d resyncs %d | attested %d | lost %d rejoined %d | faults dropped %d delayed %d | queue hwm %d\n",
 		id, s.FinalRMSE, s.Merge, s.Train, s.Share, s.Test,
-		s.Seal, s.Open, s.Wire, s.BytesIn, s.BytesOut, s.Attested,
+		s.Seal, s.Open, s.Wire, s.BytesIn, s.BytesOut, s.BytesOnWire,
+		saved, s.DeltaRefs, s.DeltaExplicit, s.Resyncs, s.Attested,
 		s.PeersLost, s.Rejoins, s.DroppedFrames, s.DelayedFrames, s.SendQueueHWM)
 }

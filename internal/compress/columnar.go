@@ -1,0 +1,239 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"rex/internal/dataset"
+)
+
+// Columnar packers for the runtime's delta wire format (frame version 3).
+//
+// Unlike PackRatings, AppendRatingsColumnar preserves the input order —
+// the delta codec needs it: entries that may be new to the receiving
+// store must arrive in the sender's sample order so the store's
+// first-occurrence insertion order (and with it the training trajectory)
+// stays bit-identical to the uncompressed path. Order-preserving rules
+// out the sorted delta coding PackRatings uses, so ids are bit-packed
+// instead: one width per column, sized to the block's maximum id.
+// Values reuse the 4-bit star grid with float32 escapes.
+//
+// Both decoders are wire-facing: they validate counts, widths and lengths
+// against the buffer before allocating, and return the unconsumed tail so
+// sections can be concatenated inside one frame.
+
+// AppendRatingsColumnar appends an order-preserving packed encoding of rs
+// to dst: uvarint count, one byte each of user/item bit widths, then the
+// bit-packed user column, item column, star nibbles and float32 escapes.
+// Typical MovieLens-scale blocks pack to ~3.7 bytes per rating versus the
+// 12-byte raw encoding.
+func AppendRatingsColumnar(dst []byte, rs []dataset.Rating) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rs)))
+	if len(rs) == 0 {
+		return dst
+	}
+	var maxU, maxI uint32
+	for _, r := range rs {
+		if r.User > maxU {
+			maxU = r.User
+		}
+		if r.Item > maxI {
+			maxI = r.Item
+		}
+	}
+	ub, ib := bits.Len32(maxU), bits.Len32(maxI)
+	dst = append(dst, byte(ub), byte(ib))
+	dst = appendPacked(dst, len(rs), ub, func(i int) uint32 { return rs[i].User })
+	dst = appendPacked(dst, len(rs), ib, func(i int) uint32 { return rs[i].Item })
+
+	var escapes []float32
+	var half byte
+	for i, r := range rs {
+		nb, ok := starToNibble(r.Value)
+		if !ok {
+			escapes = append(escapes, r.Value)
+		}
+		if i%2 == 0 {
+			half = nb << 4
+		} else {
+			dst = append(dst, half|nb)
+		}
+	}
+	if len(rs)%2 == 1 {
+		dst = append(dst, half)
+	}
+	for _, v := range escapes {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// DecodeRatingsColumnar inverts AppendRatingsColumnar, returning the
+// decoded block and the unconsumed tail of b.
+func DecodeRatingsColumnar(b []byte) ([]dataset.Rating, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("compress: columnar count: truncated")
+	}
+	b = b[n:]
+	if count == 0 {
+		return nil, b, nil
+	}
+	// Every rating costs at least 4 bits (its star nibble), so a count
+	// beyond 2x the remaining bytes cannot be genuine.
+	if count > uint64(len(b))*2 {
+		return nil, nil, fmt.Errorf("compress: implausible columnar count %d", count)
+	}
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("compress: columnar widths: truncated")
+	}
+	ub, ib := int(b[0]), int(b[1])
+	b = b[2:]
+	if ub > 32 || ib > 32 {
+		return nil, nil, fmt.Errorf("compress: columnar width %d/%d out of range", ub, ib)
+	}
+	out := make([]dataset.Rating, count)
+	users, b, err := unpackColumn(b, int(count), ub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compress: user column: %w", err)
+	}
+	items, b, err := unpackColumn(b, int(count), ib)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compress: item column: %w", err)
+	}
+	for i := range out {
+		out[i].User, out[i].Item = users[i], items[i]
+	}
+	nibbleBytes := (int(count) + 1) / 2
+	if len(b) < nibbleBytes {
+		return nil, nil, fmt.Errorf("compress: columnar nibbles: truncated")
+	}
+	var escapeIdx []int
+	for i := range out {
+		v := b[i/2]
+		if i%2 == 0 {
+			v >>= 4
+		} else {
+			v &= 0x0F
+		}
+		switch {
+		case v == 15:
+			escapeIdx = append(escapeIdx, i)
+		case v > 9:
+			return nil, nil, fmt.Errorf("compress: bad star nibble %d", v)
+		default:
+			out[i].Value = nibbleToStar(v)
+		}
+	}
+	b = b[nibbleBytes:]
+	if len(b) < 4*len(escapeIdx) {
+		return nil, nil, fmt.Errorf("compress: columnar escapes: truncated")
+	}
+	for _, i := range escapeIdx {
+		out[i].Value = math.Float32frombits(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+	}
+	return out, b, nil
+}
+
+// appendPacked bit-packs n width-bit values MSB-first. Width 0 (all values
+// zero) emits nothing.
+func appendPacked(dst []byte, n, width int, get func(i int) uint32) []byte {
+	if width == 0 {
+		return dst
+	}
+	var acc uint64
+	accBits := 0
+	for i := 0; i < n; i++ {
+		acc = acc<<width | uint64(get(i))
+		accBits += width
+		for accBits >= 8 {
+			accBits -= 8
+			dst = append(dst, byte(acc>>accBits))
+		}
+	}
+	if accBits > 0 {
+		dst = append(dst, byte(acc<<(8-accBits)))
+	}
+	return dst
+}
+
+// unpackColumn reads n width-bit values and returns the remaining bytes.
+func unpackColumn(b []byte, n, width int) ([]uint32, []byte, error) {
+	out := make([]uint32, n)
+	if width == 0 {
+		return out, b, nil
+	}
+	need := (n*width + 7) / 8
+	if len(b) < need {
+		return nil, nil, fmt.Errorf("truncated (%d of %d bytes)", len(b), need)
+	}
+	var acc uint64
+	accBits := 0
+	pos := 0
+	mask := uint64(1)<<width - 1
+	for i := range out {
+		for accBits < width {
+			acc = acc<<8 | uint64(b[pos])
+			pos++
+			accBits += 8
+		}
+		out[i] = uint32(acc >> (accBits - width) & mask)
+		accBits -= width
+	}
+	return out, b[need:], nil
+}
+
+// AppendIndexDeltas packs a strictly-increasing index list (the delta
+// codec's back-references into the per-peer dictionary) as a uvarint
+// count, the first index, then uvarint gaps minus one. Sorted references
+// at REX densities cost about one byte each. The caller must pass a
+// strictly-increasing list; the runtime sorts its (distinct) references
+// before encoding.
+func AppendIndexDeltas(dst []byte, idx []uint32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(idx)))
+	prev := uint64(0)
+	for i, v := range idx {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(v)-prev-1)
+		}
+		prev = uint64(v)
+	}
+	return dst
+}
+
+// DecodeIndexDeltas inverts AppendIndexDeltas, validating monotonicity and
+// range, and returns the unconsumed tail.
+func DecodeIndexDeltas(b []byte) ([]uint32, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("compress: index count: truncated")
+	}
+	b = b[n:]
+	if count > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("compress: implausible index count %d", count)
+	}
+	out := make([]uint32, count)
+	prev := uint64(0)
+	for i := range out {
+		d, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("compress: index delta: truncated")
+		}
+		b = b[n:]
+		v := d
+		if i > 0 {
+			v = prev + 1 + d
+		}
+		if v > math.MaxUint32 {
+			return nil, nil, fmt.Errorf("compress: index %d overflows", v)
+		}
+		out[i] = uint32(v)
+		prev = v
+	}
+	return out, b, nil
+}

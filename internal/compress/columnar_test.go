@@ -1,0 +1,163 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rex/internal/dataset"
+)
+
+// TestStarNibbleBoundaries pins the grid classification down value by
+// value: every on-grid star maps to its nibble, and everything else —
+// boundary neighbors, NaN, infinities, huge floats — takes the escape
+// path and still round-trips bit for bit through PackRatings.
+func TestStarNibbleBoundaries(t *testing.T) {
+	cases := []struct {
+		v      float32
+		nibble byte
+		onGrid bool
+	}{
+		{0.5, 0, true},
+		{1.0, 1, true},
+		{4.5, 8, true},
+		{5.0, 9, true},
+		{0, 15, false},
+		{0.4, 15, false},
+		{0.75, 15, false},
+		{5.5, 15, false}, // doubled lands on 11: integral but past the grid
+		{-0.5, 15, false},
+		{float32(math.NaN()), 15, false},
+		{float32(math.Inf(1)), 15, false},
+		{float32(math.Inf(-1)), 15, false},
+		{math.MaxFloat32, 15, false},
+	}
+	for _, tc := range cases {
+		nb, ok := starToNibble(tc.v)
+		if nb != tc.nibble || ok != tc.onGrid {
+			t.Errorf("starToNibble(%v) = %d,%v want %d,%v", tc.v, nb, ok, tc.nibble, tc.onGrid)
+		}
+		rs := []dataset.Rating{{User: 3, Item: 7, Value: tc.v}}
+		got, err := UnpackRatings(PackRatings(rs))
+		if err != nil {
+			t.Fatalf("roundtrip %v: %v", tc.v, err)
+		}
+		if len(got) != 1 || math.Float32bits(got[0].Value) != math.Float32bits(tc.v) {
+			t.Errorf("roundtrip %v came back %v", tc.v, got)
+		}
+	}
+}
+
+func randomBlock(rng *rand.Rand, n int) []dataset.Rating {
+	rs := make([]dataset.Rating, n)
+	for i := range rs {
+		rs[i] = dataset.Rating{
+			User:  uint32(rng.Intn(6041)),
+			Item:  uint32(rng.Intn(3953)),
+			Value: float32(rng.Intn(10)+1) / 2,
+		}
+	}
+	return rs
+}
+
+// TestColumnarRoundtripPreservesOrder is the property the delta codec
+// leans on: the block comes back in exactly the input order, not the
+// sorted order PackRatings canonicalizes to.
+func TestColumnarRoundtripPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 30, 400} {
+		rs := randomBlock(rng, n)
+		if n > 2 {
+			rs[1].Value = 9.75               // escape path
+			rs[2] = dataset.Rating{Value: 3} // zero ids
+		}
+		enc := AppendRatingsColumnar(nil, rs)
+		got, rest, err := DecodeRatingsColumnar(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d leftover bytes", n, len(rest))
+		}
+		if len(got) != len(rs) {
+			t.Fatalf("n=%d: %d ratings back", n, len(got))
+		}
+		for i := range rs {
+			if got[i].User != rs[i].User || got[i].Item != rs[i].Item ||
+				math.Float32bits(got[i].Value) != math.Float32bits(rs[i].Value) {
+				t.Fatalf("n=%d index %d: %+v != %+v", n, i, got[i], rs[i])
+			}
+		}
+		if n == 400 {
+			perRating := float64(len(enc)) / float64(n)
+			if perRating > 5 {
+				t.Errorf("columnar block costs %.2f B/rating, want <= 5", perRating)
+			}
+		}
+	}
+}
+
+// TestColumnarTrailingBytesSurvive checks section concatenation: the
+// decoder must consume exactly its block and hand back the tail.
+func TestColumnarTrailingBytesSurvive(t *testing.T) {
+	rs := randomBlock(rand.New(rand.NewSource(3)), 17)
+	enc := AppendRatingsColumnar(nil, rs)
+	enc = append(enc, 0xAA, 0xBB, 0xCC)
+	_, rest, err := DecodeRatingsColumnar(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 || rest[0] != 0xAA {
+		t.Fatalf("tail %x", rest)
+	}
+}
+
+func TestColumnarGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		DecodeRatingsColumnar(b) // must not panic
+		DecodeIndexDeltas(b)     // must not panic
+	}
+	// Truncations of a valid encoding must error, never panic or hang.
+	enc := AppendRatingsColumnar(nil, randomBlock(rng, 50))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeRatingsColumnar(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded cleanly", cut, len(enc))
+		}
+	}
+}
+
+func TestIndexDeltasRoundtrip(t *testing.T) {
+	cases := [][]uint32{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{3, 90, 91, 4000, 1 << 30},
+	}
+	for _, idx := range cases {
+		enc := AppendIndexDeltas(nil, idx)
+		got, rest, err := DecodeIndexDeltas(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", idx, err)
+		}
+		if len(rest) != 0 || len(got) != len(idx) {
+			t.Fatalf("%v came back %v (tail %d)", idx, got, len(rest))
+		}
+		for i := range idx {
+			if got[i] != idx[i] {
+				t.Fatalf("%v came back %v", idx, got)
+			}
+		}
+	}
+	// A dense run of n sorted refs should cost ~1 byte each plus header.
+	dense := make([]uint32, 400)
+	for i := range dense {
+		dense[i] = uint32(i * 7)
+	}
+	if n := len(AppendIndexDeltas(nil, dense)); n > 500 {
+		t.Errorf("400 dense refs cost %d bytes", n)
+	}
+}

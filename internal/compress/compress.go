@@ -20,24 +20,29 @@ import (
 
 // starToNibble maps the ten MovieLens star levels (0.5..5.0 step 0.5) to
 // 0..9; out-of-grid values get the escape nibble 15 and ride as float32.
+// The range is checked before any float-to-int conversion: converting a
+// NaN, infinity or huge float to int is implementation-defined in Go, so
+// the old `int(doubled)` probe could not be trusted to classify them.
 func starToNibble(v float32) (byte, bool) {
-	doubled := v * 2
-	if doubled != float32(int(doubled)) {
-		return 15, false
+	doubled := float64(v) * 2 // float64 holds any float32*2 exactly
+	if !(doubled >= 1 && doubled <= 10) || doubled != math.Trunc(doubled) {
+		return 15, false // off-grid, NaN or infinite: escape to float32
 	}
-	n := int(doubled) - 1 // 0.5 -> 0, 5.0 -> 9
-	if n < 0 || n > 9 {
-		return 15, false
-	}
-	return byte(n), true
+	return byte(int(doubled) - 1), true // 0.5 -> 0, 5.0 -> 9
 }
 
 func nibbleToStar(n byte) float32 { return float32(n+1) / 2 }
 
 // PackRatings compresses rating triplets: ratings are sorted by (user,
 // item); user ids and within-user item ids are delta-varint coded; values
-// are 4-bit star levels (escaped to float32 when off-grid). Typical output
-// is ~4-6 bytes per rating versus the 12-byte raw wire format.
+// are 4-bit star levels. Typical output is ~4-6 bytes per rating versus
+// the 12-byte raw wire format.
+//
+// Off-grid values (anything but 0.5..5.0 in 0.5 steps — including NaN and
+// infinities) do not round-trip through the nibble grid: they are encoded
+// explicitly with the escape nibble 15 plus a trailing float32, so
+// UnpackRatings reproduces every input value bit for bit, never a
+// silently-quantized one.
 func PackRatings(rs []dataset.Rating) []byte {
 	sorted := make([]dataset.Rating, len(rs))
 	copy(sorted, rs)
@@ -191,6 +196,23 @@ func Inflate(b []byte) ([]byte, error) {
 	out, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("compress: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// InflateLimit decompresses Deflate output but fails once the plaintext
+// exceeds max bytes — the wire-facing variant, so a hostile or corrupt
+// frame cannot expand into an unbounded allocation before validation
+// rejects it.
+func InflateLimit(b []byte, max int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, int64(max)+1))
+	if err != nil {
+		return nil, fmt.Errorf("compress: inflate: %w", err)
+	}
+	if len(out) > max {
+		return nil, fmt.Errorf("compress: inflated payload exceeds %d bytes", max)
 	}
 	return out, nil
 }

@@ -1,0 +1,53 @@
+package core
+
+import "rex/internal/dataset"
+
+// DataDelta is the wire-level delta representation of a DataSharing
+// payload: the runtime's per-peer delta codec (internal/runtime) splits a
+// shared sample into triplets the receiver provably already holds —
+// shipped as back-references into the dictionary of previously-sent
+// entries — and triplets it may not, shipped explicitly.
+//
+// Reconstruction is merge-equivalent to the original sample by two
+// properties of the raw-data store (dataset.Store):
+//
+//   - a referenced triplet was sent in an earlier, acknowledged frame, so
+//     the receiver's store already contains its (user, item) key; merging
+//     it again is an in-place value write whose position in the payload
+//     cannot change the store's insertion order;
+//   - a sample holds each (user, item) key at most once (Store.Sample
+//     draws distinct positions), so no payload-internal ordering between
+//     a reference and an explicit entry can alter which value wins.
+//
+// Only the explicit entries can be new to the receiving store, so only
+// their relative order matters: Explicit preserves the sample order, and
+// Payload appends the reference-resolved triplets after them. Any decoded
+// payload therefore merges to a bit-identical store — and bit-identical
+// training trajectories — versus the full encoding.
+type DataDelta struct {
+	// Explicit holds new or changed triplets in original sample order.
+	Explicit []dataset.Rating
+	// Refs holds dictionary indices (ascending) of triplets the receiver
+	// has acknowledged, to be resolved against its reconstruction of the
+	// sender's dictionary.
+	Refs []uint32
+}
+
+// Payload materializes the delta into a flat sample: explicit entries
+// first (their order is the one that matters), then the resolved
+// references. resolve maps a dictionary index to the triplet it named;
+// it reports false for an index the receiver does not hold, which makes
+// the whole payload undecodable (the caller rejects the frame and
+// requests a resync rather than merge a partial sample).
+func (d DataDelta) Payload(resolve func(uint32) (dataset.Rating, bool)) ([]dataset.Rating, bool) {
+	out := make([]dataset.Rating, 0, len(d.Explicit)+len(d.Refs))
+	out = append(out, d.Explicit...)
+	for _, idx := range d.Refs {
+		r, ok := resolve(idx)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, r)
+	}
+	return out, true
+}

@@ -1,0 +1,122 @@
+package scenariotest
+
+import (
+	"testing"
+
+	"rex/internal/faultnet"
+	"rex/internal/runtime"
+)
+
+// TestWireFullMatchesDelta is the wire-equivalence acceptance: the same
+// scenario run with the full (flat-frame) wire and the delta wire lands
+// on bit-identical trajectories and fault logs — delta encoding is pure
+// wire compression, invisible to the learning, under drops, duplicates,
+// reorders and partitions alike.
+func TestWireFullMatchesDelta(t *testing.T) {
+	w := NewWorkload(t)
+	for _, name := range []string{"faultfree", "lossy", "flaky", "split-heal"} {
+		sc := cannedByNameOrDie(t, name)
+		t.Run(name, func(t *testing.T) {
+			w.Wire = runtime.WireDelta
+			delta := RunChanNet(t, w, sc, false)
+			w.Wire = runtime.WireFull
+			full := RunChanNet(t, w, sc, false)
+			w.Wire = runtime.WireDelta
+			SameTrajectories(t, "wire-full-vs-delta/"+name, full, delta)
+		})
+	}
+}
+
+// TestWireFullMatchesDeltaSecure: the same equivalence with sealing on
+// (delta frames ride the secure channel's explicit-seq framing) and
+// across the sharded TCP backend.
+func TestWireFullMatchesDeltaSecure(t *testing.T) {
+	w := NewWorkload(t)
+	sc := cannedByNameOrDie(t, "flaky")
+	w.Wire = runtime.WireDelta
+	delta := RunChanNet(t, w, sc, true)
+	w.Wire = runtime.WireFull
+	full := RunChanNet(t, w, sc, true)
+	w.Wire = runtime.WireDelta
+	SameTrajectories(t, "wire-full-vs-delta-secure/flaky", full, delta)
+}
+
+// TestWireFullMatchesDeltaShardTCP: the equivalence holds over the real
+// TCP bridge, where delta frames are also lane-batched.
+func TestWireFullMatchesDeltaShardTCP(t *testing.T) {
+	w := NewWorkload(t)
+	sc := cannedByNameOrDie(t, "split-heal")
+	w.Wire = runtime.WireDelta
+	delta := RunShardTCP(t, w, sc)
+	w.Wire = runtime.WireFull
+	full := RunShardTCP(t, w, sc)
+	w.Wire = runtime.WireDelta
+	SameTrajectories(t, "wire-full-vs-delta-shardtcp/split-heal", full, delta)
+}
+
+// deltaStress is a dedicated high-loss scenario: every directed edge
+// loses enough consecutive frames that receivers open sequence gaps past
+// the resync threshold, forcing full-frame stream resets mid-run.
+func deltaStress() *faultnet.Scenario {
+	return &faultnet.Scenario{
+		Name: "delta-stress", Seed: 31, Epochs: 10,
+		Drop:        0.35,
+		GraceRounds: 12, Rejoin: true, TimeoutMs: 5000, Oracle: true,
+	}
+}
+
+// TestDeltaResyncRecovery drives the delta stream's loss-recovery path on
+// a live cluster: the lossy link must tick Stats.Resyncs (at least one
+// full-frame stream reset was sent), replay bit-for-bit, and still land
+// on exactly the trajectories of the full wire under the same schedule —
+// a resynced stream merges everything the flat encoding would have.
+func TestDeltaResyncRecovery(t *testing.T) {
+	w := NewWorkload(t)
+	sc := deltaStress()
+
+	a := RunChanNet(t, w, sc, false)
+	b := RunChanNet(t, w, sc, false)
+	SameTrajectories(t, "delta-stress replay", a, b)
+
+	var resyncs, refs int64
+	for _, st := range a.Stats {
+		resyncs += st.Resyncs
+		refs += st.DeltaRefs
+	}
+	if resyncs == 0 {
+		t.Fatal("high-loss run sent no stream resets — resync path never exercised")
+	}
+	if refs == 0 {
+		t.Fatal("no back-references at all — delta encoding degenerated to full frames")
+	}
+
+	w.Wire = runtime.WireFull
+	full := RunChanNet(t, w, sc, false)
+	w.Wire = runtime.WireDelta
+	SameTrajectories(t, "delta-stress full-vs-delta", full, a)
+	for _, st := range full.Stats {
+		if st.Resyncs != 0 || st.DeltaRefs != 0 {
+			t.Fatalf("full wire reported delta counters: %+v", st)
+		}
+	}
+}
+
+// TestWireCountersSurface checks the accounting the operator sees: on the
+// delta wire, raw-equivalent bytes exceed bytes on the wire (the saving
+// is real) and reference counts are nonzero on a fault-free run.
+func TestWireCountersSurface(t *testing.T) {
+	w := NewWorkload(t)
+	run := RunChanNet(t, w, cannedByNameOrDie(t, "faultfree"), false)
+	var raw, wire, refs int64
+	for _, st := range run.Stats {
+		raw += st.WireRawBytes
+		wire += st.BytesOnWire
+		refs += st.DeltaRefs
+	}
+	if refs == 0 {
+		t.Fatal("fault-free delta run produced no back-references")
+	}
+	if raw <= wire {
+		t.Fatalf("delta wire saved nothing: raw-equivalent %d <= on-wire %d", raw, wire)
+	}
+}

@@ -76,7 +76,7 @@ func (f *faultEndpoint) edge(to int) *edgeState {
 
 // Send implements runtime.Endpoint.
 func (f *faultEndpoint) Send(to int, data []byte) error {
-	if len(data) == 0 || data[0] != runtime.FrameKindGossip {
+	if !runtime.IsGossipFrame(data) {
 		return f.inner.Send(to, data)
 	}
 	es := f.edge(to)

@@ -37,10 +37,10 @@ func (r *runner) attestAll() error {
 		if len(env.Data) == 0 {
 			return fmt.Errorf("empty frame from %d", env.From)
 		}
-		if env.Data[0] == kindGossip {
+		if IsGossipFrame(env.Data) {
 			// A peer that finished attesting us may start epoch 0 while
 			// we still attest others; buffer its gossip for the loop.
-			r.bufferPending(env.From, env.Data[1:])
+			r.bufferPending(env.From, env.Data)
 			continue
 		}
 		if env.Data[0] != kindAttest {

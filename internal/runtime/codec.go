@@ -13,18 +13,28 @@ import (
 // no secrets — paper Algorithm 1 commentary); gossip payloads are sealed
 // by the per-pair AES-GCM channel once attestation completes.
 const (
-	kindAttest byte = 1 // JSON attestation message (hello or quote)
-	kindGossip byte = 2 // sealed protocol payload
+	kindAttest      byte = 1 // JSON attestation message (hello or quote)
+	kindGossip      byte = 2 // sealed protocol payload, full (flat) encoding
+	kindGossipDelta byte = 3 // sealed protocol payload, delta wire format
 )
 
-// FrameKindAttest and FrameKindGossip expose the wire frame kinds so
-// transport wrappers (internal/faultnet) can tell attestation handshakes
-// from gossip payloads without decoding them: faults apply to gossip
-// only — the bootstrap handshake has no retry path.
+// FrameKindAttest, FrameKindGossip and FrameKindGossipDelta expose the
+// wire frame kinds so transport wrappers (internal/faultnet) can tell
+// attestation handshakes from gossip payloads without decoding them:
+// faults apply to gossip only — the bootstrap handshake has no retry
+// path.
 const (
-	FrameKindAttest = kindAttest
-	FrameKindGossip = kindGossip
+	FrameKindAttest      = kindAttest
+	FrameKindGossip      = kindGossip
+	FrameKindGossipDelta = kindGossipDelta
 )
+
+// IsGossipFrame reports whether a wire frame carries a gossip payload of
+// either encoding (full or delta). The kind byte stays outside the seal,
+// so wrappers and the receive path classify frames without decrypting.
+func IsGossipFrame(data []byte) bool {
+	return len(data) > 0 && (data[0] == kindGossip || data[0] == kindGossipDelta)
+}
 
 // wrap prefixes the kind byte.
 func wrap(kind byte, body []byte) []byte {

@@ -1,0 +1,603 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rex/internal/compress"
+	"rex/internal/core"
+	"rex/internal/dataset"
+)
+
+// WireMode selects the gossip frame encoding on the share path.
+type WireMode uint8
+
+const (
+	// WireDelta (the default) sends versioned delta frames: per-peer
+	// acked-state tracking, back-references for triplets the peer already
+	// holds, columnar bit-packing for the rest, and DEFLATE for large
+	// model sections. Decoded state is bit-identical to WireFull.
+	WireDelta WireMode = iota
+	// WireFull is the compatibility/escape hatch: every frame carries the
+	// complete flat payload, exactly the pre-delta wire format.
+	WireFull
+)
+
+// String implements fmt.Stringer.
+func (m WireMode) String() string {
+	switch m {
+	case WireDelta:
+		return "delta"
+	case WireFull:
+		return "full"
+	default:
+		return fmt.Sprintf("WireMode(%d)", int(m))
+	}
+}
+
+// ParseWireMode converts a -wire flag value into a WireMode.
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "delta", "":
+		return WireDelta, nil
+	case "full":
+		return WireFull, nil
+	}
+	return 0, fmt.Errorf("runtime: unknown wire mode %q (want full or delta)", s)
+}
+
+// Delta frame flags.
+const (
+	// deltaFlagReset restarts the stream: the receiver archives its
+	// reconstruction of the sender's dictionary and rebuilds from this
+	// (all-explicit) frame. Sent when honoring a resync request and on
+	// the first frame after a daemon resume.
+	deltaFlagReset byte = 1 << 0
+	// deltaFlagResyncReq piggybacks the receiver's "my view of your
+	// stream has a persistent gap, send me a reset" signal on its own
+	// outbound frames.
+	deltaFlagResyncReq byte = 1 << 1
+
+	deltaFlagsKnown = deltaFlagReset | deltaFlagResyncReq
+)
+
+// gapResyncThreshold is how far highSeen may run ahead of the contiguous
+// watermark before the receiver requests a full resync. Adjacent-swap
+// reordering (the only reorder a per-pair-FIFO transport expresses)
+// produces a transient gap of 2, so 3 is the smallest value that never
+// fires on a merely reordered link.
+const gapResyncThreshold = 3
+
+// resetRetryFrames is how many frames a sender waits for its last stream
+// reset to be acknowledged before honoring another resync request. A
+// request built before the reset arrived is in flight for up to two
+// rounds; suppressing re-resets inside that window keeps at most one
+// reset outstanding per stream, which (with adjacent-swap reorder) makes
+// two resets arriving out of order impossible.
+const resetRetryFrames = 2
+
+// deflateModelThreshold is the model-section size above which delta
+// frames try DEFLATE on the marshaled parameters. Raw-data payloads never
+// go through flate: their columnar packing is tighter and deterministic
+// in cost.
+const deflateModelThreshold = 512
+
+// maxModelSection bounds the inflated size a delta model section may
+// claim, so a corrupt length cannot make the decoder allocate without
+// limit before validation fails.
+const maxModelSection = 64 << 20
+
+// errDeltaDiscard marks a delta frame the receiver rejected (undecodable,
+// checksum mismatch, or referencing dictionary state it no longer holds).
+// Like a seccha replay, the round proceeds without the frame; the resync
+// protocol restores the stream.
+var errDeltaDiscard = errors.New("runtime: delta frame discarded")
+
+// deltaTx is the sender half of one directed pair's delta stream: which
+// (user, item) triplets the peer has acknowledged, under which dictionary
+// index, at which value. One exists per neighbor (kept across failure-
+// detector drops so a rejoined peer resumes the stream); it is touched
+// only by that peer's share worker (send phase) and gather worker (ack
+// processing), phases the epoch loop never overlaps.
+type deltaTx struct {
+	// seqOut is the sequence number of the last frame built for the peer
+	// (the first frame is 1). Every frame handed to the transport
+	// consumes a number, even if the network later drops it.
+	seqOut uint64
+	// ackedSeq is the highest sequence number the peer has acknowledged
+	// receiving contiguously. Acks only ever advance it: a lower ack on a
+	// reordered frame is old news, not a regression.
+	ackedSeq uint64
+	// lastResetSeq is the sequence of the last reset frame, for the
+	// one-reset-in-flight suppression window.
+	lastResetSeq uint64
+	// lastSent maps a rating key to its latest explicit mention. A
+	// triplet is back-referenced only when that mention is acked and its
+	// value still matches: the receiver then provably resolves the same
+	// triplet from its dictionary.
+	lastSent map[uint64]txEntry
+	// dictLen counts explicit entries emitted since the stream (re)start;
+	// the next explicit entry gets this dictionary index.
+	dictLen uint32
+	// pendingReset makes the next frame a stream reset (resync request
+	// received, or first frame after a daemon resume).
+	pendingReset bool
+
+	expBuf []dataset.Rating
+	refBuf []uint32
+}
+
+type txEntry struct {
+	value float32
+	seq   uint64
+	idx   uint32
+}
+
+// requestReset arms a stream reset unless one is already in flight and
+// still within its retry window (see resetRetryFrames). A reset lost on
+// the wire is retried once the window lapses — the receiver keeps
+// piggybacking the request until its stream is whole.
+func (tx *deltaTx) requestReset() {
+	if tx.lastResetSeq != 0 && tx.ackedSeq < tx.lastResetSeq &&
+		tx.seqOut < tx.lastResetSeq+resetRetryFrames {
+		return
+	}
+	tx.pendingReset = true
+}
+
+// split partitions a sample into back-references (acked, value unchanged)
+// and explicit entries, registering the explicit ones in the dictionary.
+// Explicit entries keep sample order; references are sorted for delta
+// coding (their order is merge-irrelevant — see core.DataDelta).
+func (tx *deltaTx) split(data []dataset.Rating) (explicit []dataset.Rating, refs []uint32) {
+	explicit, refs = tx.expBuf[:0], tx.refBuf[:0]
+	for _, rt := range data {
+		if e, ok := tx.lastSent[rt.Key()]; ok && e.seq <= tx.ackedSeq && e.value == rt.Value {
+			refs = append(refs, e.idx)
+			continue
+		}
+		tx.lastSent[rt.Key()] = txEntry{value: rt.Value, seq: tx.seqOut, idx: tx.dictLen}
+		tx.dictLen++
+		explicit = append(explicit, rt)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	tx.expBuf, tx.refBuf = explicit, refs
+	return explicit, refs
+}
+
+// deltaRx is the receiver half: the reconstruction of one peer's
+// dictionary and the contiguity bookkeeping that drives acks and resync
+// requests. Touched only by that peer's gather worker (decode) and share
+// worker (reading the ack watermark), never concurrently.
+type deltaRx struct {
+	// base is the sequence number of the stream-start frame: 0 for a
+	// fresh stream, else the seq of the last reset. Frames below it
+	// resolve against the archived previous window.
+	base uint64
+	// watermark is the highest sequence number up to which every frame
+	// has been received and folded into dict — the ack the peer gets.
+	watermark uint64
+	// highSeen is the highest sequence number observed; a persistent
+	// highSeen-watermark gap triggers a resync request.
+	highSeen uint64
+	// dict is the explicit entries of frames base..watermark in sequence
+	// order — the receiver's reconstruction of the sender's dictionary
+	// prefix that back-references may point into.
+	dict []dataset.Rating
+	// prevBase/prevDict archive the window that a reset replaced, so a
+	// pre-reset frame overtaken by the reset (adjacent-swap reorder)
+	// still resolves its references and merges exactly as the full
+	// encoding would. One generation suffices: at most one reset is in
+	// flight per stream.
+	prevBase uint64
+	prevDict []dataset.Rating
+	// segs holds explicit entries of frames received beyond the
+	// watermark, keyed by seq, until the gap below them fills.
+	segs map[uint64][]dataset.Rating
+	// wantResync piggybacks a resync request on outbound frames until the
+	// stream is contiguous again.
+	wantResync bool
+}
+
+// ackPlus1 is the piggybacked ack field: watermark+1, or 0 when nothing
+// has been received on this stream yet.
+func (rx *deltaRx) ackPlus1() uint64 {
+	if rx.watermark == 0 {
+		return 0
+	}
+	return rx.watermark + 1
+}
+
+// deltaFrame is a parsed (but not yet applied) delta frame.
+type deltaFrame struct {
+	from, degree int
+	flags        byte
+	seq          uint64
+	ackPlus1     uint64
+	payloadKind  byte
+	modelBytes   []byte // marshaled model (already inflated)
+	data         core.DataDelta
+	sum          uint32 // payload checksum (data frames)
+}
+
+// payloadChecksum is an order-independent 32-bit digest of a flat rating
+// payload: per-triplet hashes XOR-folded, so the sender digests its
+// original sample while the receiver digests the reconstruction
+// (explicits first, then resolved references) and both agree exactly
+// when the reconstructed multiset is the sample. It is the end-to-end
+// guard that a misresolved back-reference — however the stream state got
+// there — is discarded rather than silently merged.
+func payloadChecksum(rs []dataset.Rating) uint32 {
+	var h uint32
+	for _, r := range rs {
+		x := r.User*2654435761 ^ r.Item*2246822519 ^ math.Float32bits(r.Value)*3266489917
+		x ^= x >> 16
+		x *= 2654435761
+		x ^= x >> 13
+		h ^= x
+	}
+	return h
+}
+
+// parseDeltaFrame validates and decodes a delta frame body (everything
+// after the outer kind byte, post-decryption). It is pure: no receiver
+// state is read or written, so rejected bytes cannot corrupt a stream.
+// Unknown flags, implausible sections and trailing bytes are all errors.
+func parseDeltaFrame(body []byte) (*deltaFrame, error) {
+	if len(body) < 10 {
+		return nil, fmt.Errorf("runtime: delta frame too short (%d bytes)", len(body))
+	}
+	f := &deltaFrame{
+		from:        int(binary.LittleEndian.Uint32(body)),
+		degree:      int(binary.LittleEndian.Uint32(body[4:])),
+		flags:       body[8],
+		payloadKind: body[9],
+	}
+	if f.flags&^deltaFlagsKnown != 0 {
+		return nil, fmt.Errorf("runtime: unknown delta flags %#x", f.flags)
+	}
+	rest := body[10:]
+	var n int
+	f.seq, n = binary.Uvarint(rest)
+	if n <= 0 || f.seq == 0 {
+		return nil, fmt.Errorf("runtime: bad delta seq")
+	}
+	rest = rest[n:]
+	f.ackPlus1, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("runtime: bad delta ack")
+	}
+	rest = rest[n:]
+	switch f.payloadKind {
+	case payloadEmpty:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("runtime: %d trailing bytes in empty delta frame", len(rest))
+		}
+	case payloadModel:
+		if len(rest) < 1 || rest[0] > 1 {
+			return nil, fmt.Errorf("runtime: bad model section header")
+		}
+		deflated := rest[0] == 1
+		rest = rest[1:]
+		ln, n := binary.Uvarint(rest)
+		if n <= 0 || ln != uint64(len(rest)-n) {
+			return nil, fmt.Errorf("runtime: bad model section length")
+		}
+		f.modelBytes = rest[n:]
+		if deflated {
+			raw, err := compress.InflateLimit(f.modelBytes, maxModelSection)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: model section: %w", err)
+			}
+			f.modelBytes = raw
+		}
+	case payloadData:
+		var err error
+		f.data.Explicit, rest, err = compress.DecodeRatingsColumnar(rest)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: delta explicit block: %w", err)
+		}
+		f.data.Refs, rest, err = compress.DecodeIndexDeltas(rest)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: delta ref block: %w", err)
+		}
+		if len(rest) != 4 {
+			return nil, fmt.Errorf("runtime: delta checksum: %d bytes", len(rest))
+		}
+		f.sum = binary.LittleEndian.Uint32(rest)
+		if len(f.data.Refs) > 0 && f.flags&deltaFlagReset != 0 {
+			return nil, fmt.Errorf("runtime: reset frame carries refs")
+		}
+	default:
+		return nil, fmt.Errorf("runtime: unknown delta payload kind %d", f.payloadKind)
+	}
+	return f, nil
+}
+
+// apply validates f against the stream state and, only when every check
+// passes, commits it: dictionary growth, watermark advance, gap tracking.
+// On error the receiver state is untouched, so arbitrary rejected bytes
+// can never corrupt the stream. The returned ratings are the
+// reconstructed flat sample (nil for empty/model frames), which is
+// produced — and merged by the caller — for every accepted frame whether
+// or not it commits: duplicates and overtaken pre-reset frames merge
+// exactly as the full encoding would have.
+func (rx *deltaRx) apply(f *deltaFrame) ([]dataset.Rating, error) {
+	if f.flags&deltaFlagReset != 0 {
+		return rx.applyReset(f)
+	}
+	// Pick the dictionary window the frame's references were coded
+	// against: the live one, or the archived pre-reset window for a frame
+	// the reset overtook.
+	dict := rx.dict
+	if f.seq < rx.base {
+		if f.seq < rx.prevBase && len(f.data.Refs) > 0 {
+			return nil, fmt.Errorf("%w: frame predates archived window", errDeltaDiscard)
+		}
+		dict = rx.prevDict
+	}
+	sample, ok := f.data.Payload(func(idx uint32) (dataset.Rating, bool) {
+		if int(idx) >= len(dict) {
+			return dataset.Rating{}, false
+		}
+		return dict[idx], true
+	})
+	if !ok {
+		return nil, fmt.Errorf("%w: unresolvable dictionary reference", errDeltaDiscard)
+	}
+	if f.payloadKind == payloadData && payloadChecksum(sample) != f.sum {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", errDeltaDiscard)
+	}
+	// Stale (pre-reset) frames and duplicates reconstruct without
+	// committing; the dictionary prefix a duplicate re-delivers is
+	// immutable between resets, so nothing needs re-folding.
+	stale := f.seq < rx.base
+	dup := !stale && f.seq <= rx.watermark
+	if !dup && !stale {
+		_, dup = rx.segs[f.seq]
+	}
+	if !stale && !dup {
+		rx.commit(f.seq, f.data.Explicit)
+	}
+	return sample, nil
+}
+
+// applyReset handles a stream-reset frame. The reset is all-explicit, so
+// its payload always merges; the rebase itself applies only when the
+// reset is new (ahead of the watermark) or an exact redelivery of the
+// current base (idempotent).
+func (rx *deltaRx) applyReset(f *deltaFrame) ([]dataset.Rating, error) {
+	if f.payloadKind == payloadData && payloadChecksum(f.data.Explicit) != f.sum {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", errDeltaDiscard)
+	}
+	switch {
+	case f.seq == rx.base:
+		// Duplicate of the current stream start: re-deriving dict would be
+		// a no-op by construction.
+	case f.seq > rx.watermark:
+		// Archive the window this reset replaces, then rebase on it.
+		rx.prevBase, rx.prevDict = rx.base, rx.dict
+		rx.base, rx.watermark = f.seq, f.seq
+		rx.dict = append([]dataset.Rating(nil), f.data.Explicit...)
+		for s := range rx.segs {
+			if s <= f.seq {
+				delete(rx.segs, s)
+			}
+		}
+		if f.seq > rx.highSeen {
+			rx.highSeen = f.seq
+		}
+		rx.drain()
+	default:
+		// An old reset the stream has moved past: merge its (explicit)
+		// payload, touch nothing.
+	}
+	return f.data.Explicit, nil
+}
+
+// commit folds a fresh in-window frame into the stream state.
+func (rx *deltaRx) commit(seq uint64, explicit []dataset.Rating) {
+	if seq > rx.highSeen {
+		rx.highSeen = seq
+	}
+	if seq == rx.watermark+1 {
+		rx.watermark = seq
+		rx.dict = append(rx.dict, explicit...)
+		rx.drain()
+		return
+	}
+	if rx.segs == nil {
+		rx.segs = make(map[uint64][]dataset.Rating)
+	}
+	rx.segs[seq] = explicit
+	if rx.highSeen-rx.watermark >= gapResyncThreshold {
+		rx.wantResync = true
+	}
+}
+
+// drain advances the watermark over any now-contiguous buffered segments
+// and clears the resync request once the stream has no gap.
+func (rx *deltaRx) drain() {
+	for {
+		seg, ok := rx.segs[rx.watermark+1]
+		if !ok {
+			break
+		}
+		delete(rx.segs, rx.watermark+1)
+		rx.watermark++
+		rx.dict = append(rx.dict, seg...)
+	}
+	if rx.watermark == rx.highSeen {
+		rx.wantResync = false
+	}
+}
+
+// initDelta creates the per-peer delta stream state for every configured
+// neighbor, on the protocol thread, before any worker can touch the maps.
+// Entries are never created later (a rejoined peer was a neighbor, so its
+// streams exist) and never deleted (a dropped peer's streams survive for
+// its rejoin; a permanently dead peer's state is idle).
+func (r *runner) initDelta(resume bool) {
+	if r.cfg.Wire != WireDelta {
+		return
+	}
+	r.tx = make(map[int]*deltaTx, len(r.cfg.Neighbors))
+	r.rx = make(map[int]*deltaRx, len(r.cfg.Neighbors))
+	r.deltaScratch = make(map[int][]byte, len(r.cfg.Neighbors))
+	for _, nb := range r.cfg.Neighbors {
+		// A resumed daemon rebuilds delta state from nothing (stream state
+		// is deliberately not snapshotted), so its first frame to every
+		// peer is a reset; the peers' stale view of this node's stream
+		// heals through the resync protocol.
+		r.tx[nb] = &deltaTx{lastSent: make(map[uint64]txEntry), pendingReset: resume}
+		r.rx[nb] = &deltaRx{}
+	}
+}
+
+// deltaSendStats is the per-frame accounting a share worker returns.
+type deltaSendStats struct {
+	refs, explicit int64
+	raw            int64 // bytes the full-mode plaintext frame would have cost
+	resync         bool  // frame carried a stream reset
+}
+
+// encodeDeltaBody appends the delta frame body for one peer to dst:
+// header (sender, degree, flags, payload kind, seq, piggybacked ack),
+// then the payload section. Model sections come pre-encoded (they are
+// peer-independent and built once per epoch on the protocol thread);
+// data sections are split per peer against the stream state. Runs on the
+// peer's share worker.
+func (r *runner) encodeDeltaBody(dst []byte, nb int, p core.Payload) ([]byte, deltaSendStats) {
+	tx, rx := r.tx[nb], r.rx[nb]
+	tx.seqOut++
+	var st deltaSendStats
+	var flags byte
+	if tx.pendingReset {
+		flags |= deltaFlagReset
+		tx.lastSent = make(map[uint64]txEntry)
+		tx.dictLen = 0
+		tx.lastResetSeq = tx.seqOut
+		tx.pendingReset = false
+		st.resync = true
+	}
+	if rx.wantResync {
+		flags |= deltaFlagResyncReq
+	}
+	st.raw = int64(1 + 9 + payloadBodySize(p)) // kind byte + flat header + flat body
+
+	off := len(dst)
+	dst = append(dst, make([]byte, 10)...)
+	binary.LittleEndian.PutUint32(dst[off:], uint32(p.From))
+	binary.LittleEndian.PutUint32(dst[off+4:], uint32(p.Degree))
+	dst[off+8] = flags
+	switch {
+	case p.Model != nil:
+		dst[off+9] = payloadModel
+	case p.Data != nil:
+		dst[off+9] = payloadData
+	default:
+		dst[off+9] = payloadEmpty
+	}
+	dst = binary.AppendUvarint(dst, tx.seqOut)
+	dst = binary.AppendUvarint(dst, rx.ackPlus1())
+	switch {
+	case p.Model != nil:
+		dst = append(dst, r.modelSection...)
+	case p.Data != nil:
+		explicit := p.Data
+		var refs []uint32
+		if flags&deltaFlagReset == 0 {
+			explicit, refs = tx.split(p.Data)
+		} else {
+			// A reset frame is self-contained: everything explicit, and
+			// the dictionary restarts from it.
+			for _, rt := range p.Data {
+				tx.lastSent[rt.Key()] = txEntry{value: rt.Value, seq: tx.seqOut, idx: tx.dictLen}
+				tx.dictLen++
+			}
+		}
+		st.explicit, st.refs = int64(len(explicit)), int64(len(refs))
+		dst = compress.AppendRatingsColumnar(dst, explicit)
+		dst = compress.AppendIndexDeltas(dst, refs)
+		dst = binary.LittleEndian.AppendUint32(dst, payloadChecksum(p.Data))
+	}
+	return dst, st
+}
+
+// buildModelSection pre-encodes the epoch's (peer-independent) model
+// section on the protocol thread: a deflated-flag byte, a uvarint length,
+// and the marshaled parameters, DEFLATE-compressed above the size
+// threshold when that actually wins.
+func (r *runner) buildModelSection(p core.Payload) error {
+	raw, err := p.Model.Marshal()
+	if err != nil {
+		return fmt.Errorf("runtime: marshaling model: %w", err)
+	}
+	chosen, deflated := raw, byte(0)
+	if len(raw) >= deflateModelThreshold {
+		if comp, err := compress.Deflate(raw, 0); err == nil && len(comp) < len(raw) {
+			chosen, deflated = comp, 1
+		}
+	}
+	r.modelSection = append(r.modelSection[:0], deflated)
+	r.modelSection = binary.AppendUvarint(r.modelSection, uint64(len(chosen)))
+	r.modelSection = append(r.modelSection, chosen...)
+	return nil
+}
+
+// decodeDeltaFrame is the gather-side entry: parse, apply the
+// piggybacked ack and resync request to the sender state, apply the
+// frame to the receiver state, and reconstruct the flat payload. Runs on
+// the peer's gather worker. A rejected frame never mutates stream state;
+// the runner discards it (errDeltaDiscard folds like a seccha replay)
+// and the piggybacked request machinery restores the stream.
+func (r *runner) decodeDeltaFrame(from int, body []byte) (core.Payload, error) {
+	tx, rx := r.tx[from], r.rx[from]
+	if tx == nil {
+		return core.Payload{}, fmt.Errorf("%w: no stream state for peer", errDeltaDiscard)
+	}
+	f, err := parseDeltaFrame(body)
+	if err != nil {
+		rx.wantResync = true
+		return core.Payload{}, fmt.Errorf("%w: %v", errDeltaDiscard, err)
+	}
+	// Piggybacked control first: it is valid even on frames whose payload
+	// the stream state can no longer decode. Acks only advance (a lower
+	// ack on a reordered frame is old news), and never past what was
+	// actually sent.
+	if f.ackPlus1 > 0 {
+		if ack := f.ackPlus1 - 1; ack > tx.ackedSeq && ack <= tx.seqOut {
+			tx.ackedSeq = ack
+		}
+	}
+	if f.flags&deltaFlagResyncReq != 0 {
+		tx.requestReset()
+	}
+	p := core.Payload{From: f.from, Degree: f.degree}
+	if f.payloadKind == payloadModel {
+		// Unmarshal before touching stream state: a frame whose model bytes
+		// do not decode is discarded whole, not half-committed (the
+		// watermark must never ack a frame that was not merged).
+		if r.cfg.NewModel == nil {
+			return core.Payload{}, fmt.Errorf("%w: model payload without NewModel", errDeltaDiscard)
+		}
+		m := r.cfg.NewModel()
+		if err := m.Unmarshal(f.modelBytes); err != nil {
+			rx.wantResync = true
+			return core.Payload{}, fmt.Errorf("%w: unmarshaling model: %v", errDeltaDiscard, err)
+		}
+		p.Model = m
+	}
+	sample, err := rx.apply(f)
+	if err != nil {
+		rx.wantResync = true
+		return core.Payload{}, err
+	}
+	if f.payloadKind == payloadData {
+		p.Data = sample
+	}
+	return p, nil
+}

@@ -1,0 +1,386 @@
+package runtime
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/mf"
+	"rex/internal/model"
+)
+
+// newDeltaPair builds two bare runners wired as mutual neighbors (ids 0
+// and 1) with delta streams initialized, so tests can drive
+// encodeDeltaBody / decodeDeltaFrame directly without a transport.
+func newDeltaPair() (a, b *runner) {
+	newModel := func() model.Model { return mf.New(mf.DefaultConfig()) }
+	a = &runner{cfg: Config{Neighbors: []int{1}, Wire: WireDelta, NewModel: newModel}}
+	b = &runner{cfg: Config{Neighbors: []int{0}, Wire: WireDelta, NewModel: newModel}}
+	a.initDelta(false)
+	b.initDelta(false)
+	return a, b
+}
+
+// ship encodes a payload on from (addressed to peer `nb`) and decodes it
+// on to (as sender `nb`'s counterpart), failing the test on either error.
+func ship(t *testing.T, from, to *runner, fromID, toID int, p core.Payload) (core.Payload, deltaSendStats) {
+	t.Helper()
+	body, st := from.encodeDeltaBody(nil, toID, p)
+	got, err := to.decodeDeltaFrame(fromID, body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got, st
+}
+
+func sortedRatings(rs []dataset.Rating) []dataset.Rating {
+	out := append([]dataset.Rating(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func sameMultiset(t *testing.T, got, want []dataset.Rating) {
+	t.Helper()
+	g, w := sortedRatings(got), sortedRatings(want)
+	if len(g) != len(w) {
+		t.Fatalf("got %d ratings, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("rating %d: got %+v want %+v", i, g[i], w[i])
+		}
+	}
+}
+
+func sampleRatings(n int, seed int64) []dataset.Rating {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dataset.Rating, n)
+	for i := range out {
+		out[i] = dataset.Rating{
+			User:  uint32(rng.Intn(200)),
+			Item:  uint32(i), // distinct keys
+			Value: float32(rng.Intn(9)+2) / 2,
+		}
+	}
+	return out
+}
+
+// BenchmarkDeltaEncode measures the steady-state share-path round: one op
+// encodes a 60-point frame against a warmed, fully acked dictionary (the
+// ref-heavy common case), decodes it on the receiver, and carries the ack
+// back on an empty reverse frame. SetBytes counts what the flat encoding
+// would have put on the wire, so MB/s reads as raw-equivalent throughput;
+// wireB/frame is the actual encoded size.
+func BenchmarkDeltaEncode(b *testing.B) {
+	tx, rx := newDeltaPair()
+	const pts = 60
+	pool := sampleRatings(10*pts, 7)
+	roundTrip := func(buf, ack []byte, off int) ([]byte, []byte, deltaSendStats) {
+		p := core.Payload{From: 0, Degree: 1, Data: pool[off : off+pts]}
+		buf, st := tx.encodeDeltaBody(buf[:0], 1, p)
+		if _, err := rx.decodeDeltaFrame(0, buf); err != nil {
+			b.Fatal(err)
+		}
+		ack, _ = rx.encodeDeltaBody(ack[:0], 0, core.Payload{From: 1, Degree: 1})
+		if _, err := tx.decodeDeltaFrame(1, ack); err != nil {
+			b.Fatal(err)
+		}
+		return buf, ack, st
+	}
+	var buf, ack []byte
+	var st deltaSendStats
+	for off := 0; off+pts <= len(pool); off += pts { // warm lap: dictionary + acks
+		buf, ack, _ = roundTrip(buf, ack, off)
+	}
+	var wire, raw int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, ack, st = roundTrip(buf, ack, (i%10)*pts)
+		wire += int64(len(buf))
+		raw += st.raw
+	}
+	b.StopTimer()
+	b.SetBytes(raw / int64(b.N))
+	b.ReportMetric(float64(wire)/float64(b.N), "wireB/frame")
+	b.ReportMetric(float64(raw)/float64(wire), "compression-x")
+}
+
+func TestParseWireMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want WireMode
+		ok   bool
+	}{
+		{"", WireDelta, true},
+		{"delta", WireDelta, true},
+		{"full", WireFull, true},
+		{"flat", 0, false},
+	} {
+		got, err := ParseWireMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseWireMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if WireDelta.String() != "delta" || WireFull.String() != "full" {
+		t.Fatal("String() drifted from flag values")
+	}
+}
+
+// TestDeltaRefRoundtrip drives the happy path: first send all-explicit,
+// an ack riding an empty reverse frame, then a resend as pure
+// back-references and a value change forcing a single re-explicit entry.
+func TestDeltaRefRoundtrip(t *testing.T) {
+	a, b := newDeltaPair()
+	s := sampleRatings(12, 1)
+
+	got, st := ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	if st.explicit != 12 || st.refs != 0 {
+		t.Fatalf("first frame: explicit=%d refs=%d", st.explicit, st.refs)
+	}
+	sameMultiset(t, got.Data, s)
+
+	// Reverse empty frame carries the ack for seq 1.
+	if _, _ = ship(t, b, a, 1, 0, core.Payload{From: 1, Degree: 1}); a.tx[1].ackedSeq != 1 {
+		t.Fatalf("ackedSeq = %d, want 1", a.tx[1].ackedSeq)
+	}
+
+	got, st = ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	if st.explicit != 0 || st.refs != 12 {
+		t.Fatalf("resend: explicit=%d refs=%d", st.explicit, st.refs)
+	}
+	// References sort by dictionary index = insertion order, so the
+	// reconstruction preserves the original sample order exactly.
+	for i := range s {
+		if got.Data[i] != s[i] {
+			t.Fatalf("resend order drifted at %d: %+v != %+v", i, got.Data[i], s[i])
+		}
+	}
+
+	s2 := append([]dataset.Rating(nil), s...)
+	s2[5].Value += 0.5
+	got, st = ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s2})
+	if st.explicit != 1 || st.refs != 11 {
+		t.Fatalf("value change: explicit=%d refs=%d", st.explicit, st.refs)
+	}
+	sameMultiset(t, got.Data, s2)
+}
+
+// TestDeltaDuplicateAndReorder checks the faultnet-visible cases: an
+// adjacent swap decodes both frames and leaves no gap, and a duplicate
+// reconstructs identically without recommitting.
+func TestDeltaDuplicateAndReorder(t *testing.T) {
+	a, b := newDeltaPair()
+	s1, s2, s3 := sampleRatings(6, 1), sampleRatings(6, 2), sampleRatings(6, 3)
+
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s1})
+	body2, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 1, Data: s2})
+	body3, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 1, Data: s3})
+
+	p3, err := b.decodeDeltaFrame(0, body3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.decodeDeltaFrame(0, body2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, p3.Data, s3)
+	sameMultiset(t, p2.Data, s2)
+	rx := b.rx[0]
+	if rx.watermark != 3 || rx.wantResync {
+		t.Fatalf("after swap: watermark=%d wantResync=%v", rx.watermark, rx.wantResync)
+	}
+
+	dup, err := b.decodeDeltaFrame(0, body2)
+	if err != nil {
+		t.Fatalf("duplicate rejected: %v", err)
+	}
+	sameMultiset(t, dup.Data, s2)
+	if rx.watermark != 3 || len(rx.dict) != 18 {
+		t.Fatalf("duplicate mutated stream: watermark=%d dict=%d", rx.watermark, len(rx.dict))
+	}
+}
+
+// TestDeltaGapResync loses three frames in a row and checks the full
+// recovery loop: gap -> resync request piggybacked on the reverse frame ->
+// stream reset -> references work again on the rebased dictionary.
+func TestDeltaGapResync(t *testing.T) {
+	a, b := newDeltaPair()
+	s := sampleRatings(8, 4)
+
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	for i := 0; i < 3; i++ { // frames 2..4 lost: encoded, never delivered
+		a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	}
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	if rx := b.rx[0]; !rx.wantResync || rx.watermark != 1 || rx.highSeen != 5 {
+		t.Fatalf("gap not detected: %+v", rx)
+	}
+
+	// B's next outbound frame carries the request; A arms a reset.
+	ship(t, b, a, 1, 0, core.Payload{From: 1, Degree: 1})
+	if !a.tx[1].pendingReset {
+		t.Fatal("resync request did not arm a reset")
+	}
+
+	got, st := ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	if !st.resync || st.explicit != 8 {
+		t.Fatalf("reset frame: resync=%v explicit=%d", st.resync, st.explicit)
+	}
+	sameMultiset(t, got.Data, s)
+	rx := b.rx[0]
+	if rx.base != 6 || rx.watermark != 6 || rx.wantResync {
+		t.Fatalf("rebase failed: base=%d watermark=%d wantResync=%v", rx.base, rx.watermark, rx.wantResync)
+	}
+
+	// Ack the reset, then the stream back-references against the new base.
+	ship(t, b, a, 1, 0, core.Payload{From: 1, Degree: 1})
+	_, st = ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	if st.refs != 8 || st.explicit != 0 {
+		t.Fatalf("post-reset refs: explicit=%d refs=%d", st.explicit, st.refs)
+	}
+}
+
+// TestDeltaStalePreResetFrame delays a reference-carrying frame across a
+// stream reset (the adjacent-swap-around-reset case): it must still
+// resolve against the archived window and merge, without committing.
+func TestDeltaStalePreResetFrame(t *testing.T) {
+	a, b := newDeltaPair()
+	s := sampleRatings(5, 7)
+
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	ship(t, b, a, 1, 0, core.Payload{From: 1, Degree: 1}) // ack seq 1
+
+	// Frame 2 references the old dictionary but is held back.
+	held, st := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	if st.refs != 5 {
+		t.Fatalf("held frame refs=%d", st.refs)
+	}
+	// Frame 3 is a reset that overtakes it.
+	a.tx[1].pendingReset = true
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	rx := b.rx[0]
+	if rx.base != 3 || rx.watermark != 3 {
+		t.Fatalf("rebase: base=%d watermark=%d", rx.base, rx.watermark)
+	}
+
+	p, err := b.decodeDeltaFrame(0, held)
+	if err != nil {
+		t.Fatalf("stale frame rejected: %v", err)
+	}
+	sameMultiset(t, p.Data, s)
+	if rx.watermark != 3 || len(rx.dict) != 5 {
+		t.Fatalf("stale frame mutated stream: watermark=%d dict=%d", rx.watermark, len(rx.dict))
+	}
+}
+
+// TestDeltaChecksumDiscard corrupts the payload checksum and checks the
+// frame is discarded without mutating the stream — then the intact copy
+// of the same frame still commits.
+func TestDeltaChecksumDiscard(t *testing.T) {
+	a, b := newDeltaPair()
+	s := sampleRatings(6, 9)
+
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	body, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	bad := append([]byte(nil), body...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := b.decodeDeltaFrame(0, bad); !errors.Is(err, errDeltaDiscard) {
+		t.Fatalf("corrupt checksum: err=%v", err)
+	}
+	rx := b.rx[0]
+	if rx.watermark != 1 || !rx.wantResync {
+		t.Fatalf("discard state: watermark=%d wantResync=%v", rx.watermark, rx.wantResync)
+	}
+	if _, err := b.decodeDeltaFrame(0, body); err != nil {
+		t.Fatalf("intact redelivery rejected: %v", err)
+	}
+	if rx.watermark != 2 {
+		t.Fatalf("intact redelivery did not commit: watermark=%d", rx.watermark)
+	}
+}
+
+// TestDeltaRejectWithoutMutation feeds malformed bodies (truncations and
+// bit flips of a valid frame) and checks no rejected byte string moves
+// the stream state.
+func TestDeltaRejectWithoutMutation(t *testing.T) {
+	a, b := newDeltaPair()
+	s := sampleRatings(6, 11)
+	ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+	body, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 1, Data: s})
+
+	rx := b.rx[0]
+	snap := func() (uint64, uint64, uint64, int, int) {
+		return rx.base, rx.watermark, rx.highSeen, len(rx.dict), len(rx.segs)
+	}
+	b0, w0, h0, d0, g0 := snap()
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := b.decodeDeltaFrame(0, body[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		b1, w1, h1, d1, g1 := snap()
+		if b1 != b0 || w1 != w0 || h1 != h0 || d1 != d0 || g1 != g0 {
+			t.Fatalf("truncation at %d mutated stream state", cut)
+		}
+	}
+	flipped := append([]byte(nil), body...)
+	flipped[8] |= 0x80 // unknown flag bit
+	if _, err := b.decodeDeltaFrame(0, flipped); !errors.Is(err, errDeltaDiscard) {
+		t.Fatalf("unknown flag: err=%v", err)
+	}
+	if b1, w1, h1, d1, g1 := snap(); b1 != b0 || w1 != w0 || h1 != h0 || d1 != d0 || g1 != g0 {
+		t.Fatal("unknown flag mutated stream state")
+	}
+}
+
+// TestRequestResetSuppression pins the one-reset-in-flight window.
+func TestRequestResetSuppression(t *testing.T) {
+	tx := &deltaTx{lastResetSeq: 5, ackedSeq: 4, seqOut: 5}
+	tx.requestReset()
+	if tx.pendingReset {
+		t.Fatal("reset re-armed inside the in-flight window")
+	}
+	tx.seqOut = 7 // window lapsed without an ack: the reset was lost, retry
+	tx.requestReset()
+	if !tx.pendingReset {
+		t.Fatal("lost reset never retried")
+	}
+	tx = &deltaTx{lastResetSeq: 5, ackedSeq: 5, seqOut: 5}
+	tx.requestReset() // reset acked: a new request is honored immediately
+	if !tx.pendingReset {
+		t.Fatal("acked reset suppressed a fresh request")
+	}
+}
+
+// TestDeltaModelSection round-trips a model payload, covering the
+// DEFLATE-above-threshold path.
+func TestDeltaModelSection(t *testing.T) {
+	mcfg := mf.DefaultConfig()
+	m := mf.New(mcfg)
+	m.Train(sampleRatings(64, 13), 50, rand.New(rand.NewSource(2)))
+
+	a, b := newDeltaPair()
+	p := core.Payload{From: 0, Degree: 1, Model: m}
+	if err := a.buildModelSection(p); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) >= deflateModelThreshold && len(a.modelSection) >= len(raw) {
+		t.Fatalf("model section not compressed: %d >= %d", len(a.modelSection), len(raw))
+	}
+	got, _ := ship(t, a, b, 0, 1, p)
+	if got.Model == nil {
+		t.Fatal("model payload lost")
+	}
+	for _, probe := range [][2]uint32{{1, 2}, {17, 3}, {150, 40}} {
+		if got.Model.Predict(probe[0], probe[1]) != m.Predict(probe[0], probe[1]) {
+			t.Fatalf("model drifted at %v", probe)
+		}
+	}
+}

@@ -85,6 +85,11 @@ type Status struct {
 	// Traffic and liveness counters, mirrored from Stats.
 	BytesIn, BytesOut, BytesOnWire int64
 	PeersLost, Rejoins, Attested   int
+	// Delta-wire counters, mirrored from Stats: triplets shipped as
+	// back-references vs explicitly, stream resets sent, and the bytes
+	// the flat encoding would have cost (WireRawBytes-BytesOnWire is the
+	// saving; see Stats).
+	DeltaRefs, DeltaExplicit, Resyncs, WireRawBytes int64
 }
 
 // NewEngine validates the configuration and builds the engine. No network
@@ -109,6 +114,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		},
 		epoch: cfg.StartEpoch,
 	}
+	// Delta stream state is built once, here on the protocol thread, for
+	// every configured neighbor. A resumed daemon (StartEpoch > 0) starts
+	// every stream with a reset frame: stream state is not persisted in
+	// snapshots, and peers that kept running hold a view of the old
+	// stream that must not be referenced into.
+	e.r.initDelta(cfg.StartEpoch > 0)
 	return e, nil
 }
 
@@ -252,6 +263,10 @@ func (e *Engine) Step() (float64, error) {
 	r.stats.Wire += res.wire
 	r.stats.BytesOut += res.bytes
 	r.stats.BytesOnWire += res.wireBytes
+	r.stats.WireRawBytes += res.rawBytes
+	r.stats.DeltaRefs += res.refs
+	r.stats.DeltaExplicit += res.explicit
+	r.stats.Resyncs += res.resyncs
 	for _, nb := range res.lost {
 		r.notePeerMiss(nb)
 	}
@@ -310,6 +325,11 @@ func (e *Engine) publishStatus(rmse float64) {
 		PeersLost:   e.r.stats.PeersLost,
 		Rejoins:     e.r.stats.Rejoins,
 		Attested:    e.r.stats.Attested,
+
+		DeltaRefs:     e.r.stats.DeltaRefs,
+		DeltaExplicit: e.r.stats.DeltaExplicit,
+		Resyncs:       e.r.stats.Resyncs,
+		WireRawBytes:  e.r.stats.WireRawBytes,
 	}
 	e.status.Store(st)
 }

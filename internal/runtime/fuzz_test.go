@@ -62,6 +62,87 @@ func FuzzDecodePayload(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDeltaPayload throws arbitrary bytes at the delta frame
+// decoder against a receiver with live stream state: arbitrary,
+// truncated or reordered inputs must never panic, and a rejected frame
+// must leave the stream reconstruction (base, watermark, dictionary,
+// buffered segments) exactly as it was — the reject-without-mutation
+// contract that lets the resync protocol recover from any garbage.
+func FuzzDecodeDeltaPayload(f *testing.F) {
+	mcfg := mf.DefaultConfig()
+	seedPair := func() (*runner, *runner) {
+		newModel := func() model.Model { return mf.New(mcfg) }
+		a := &runner{cfg: Config{Neighbors: []int{1}, Wire: WireDelta, NewModel: newModel}}
+		b := &runner{cfg: Config{Neighbors: []int{0}, Wire: WireDelta, NewModel: newModel}}
+		a.initDelta(false)
+		b.initDelta(false)
+		sample := []dataset.Rating{
+			{User: 5, Item: 6, Value: 2.5}, {User: 7, Item: 8, Value: 4},
+			{User: 5, Item: 9, Value: 1.5},
+		}
+		// Two frames and a reverse ack, so the receiver holds a dictionary
+		// and the third frame's references resolve.
+		for i := 0; i < 2; i++ {
+			body, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 2, Data: sample})
+			if _, err := b.decodeDeltaFrame(0, body); err != nil {
+				f.Fatal(err)
+			}
+		}
+		back, _ := b.encodeDeltaBody(nil, 0, core.Payload{From: 1, Degree: 2})
+		if _, err := a.decodeDeltaFrame(1, back); err != nil {
+			f.Fatal(err)
+		}
+		return a, b
+	}
+
+	// Seed corpus: a reference-carrying data frame, an empty frame, a
+	// model frame and a reset, plus parser traps.
+	a, _ := seedPair()
+	refFrame, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 2,
+		Data: []dataset.Rating{{User: 5, Item: 6, Value: 2.5}, {User: 1, Item: 2, Value: 3}}})
+	f.Add(refFrame)
+	empty, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 2})
+	f.Add(empty)
+	m := mf.New(mcfg)
+	m.Train([]dataset.Rating{{User: 1, Item: 2, Value: 4}}, 50, rand.New(rand.NewSource(1)))
+	if err := a.buildModelSection(core.Payload{Model: m}); err == nil {
+		mb, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 2, Model: m})
+		f.Add(mb)
+	}
+	a.tx[1].pendingReset = true
+	reset, _ := a.encodeDeltaBody(nil, 1, core.Payload{From: 0, Degree: 2,
+		Data: []dataset.Rating{{User: 3, Item: 4, Value: 5}}})
+	f.Add(reset)
+	f.Add([]byte{})
+	f.Add(refFrame[:11])
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if fr, err := parseDeltaFrame(body); err == nil && fr.payloadKind == payloadModel &&
+			mfAllocHeavy(fr.modelBytes, mcfg.K) {
+			t.Skip("alloc-heavy model body") // see FuzzDecodePayload
+		}
+		_, rcv := seedPair()
+		rx := rcv.rx[0]
+		base, watermark, high := rx.base, rx.watermark, rx.highSeen
+		dict := append([]dataset.Rating(nil), rx.dict...)
+		segs := len(rx.segs)
+		_, err := rcv.decodeDeltaFrame(0, body)
+		if err == nil {
+			return // a valid frame may mutate; invariants below are for rejects
+		}
+		if rx.base != base || rx.watermark != watermark || rx.highSeen != high ||
+			len(rx.dict) != len(dict) || len(rx.segs) != segs {
+			t.Fatalf("rejected frame mutated stream state: %v", err)
+		}
+		for i := range dict {
+			if rx.dict[i] != dict[i] {
+				t.Fatalf("rejected frame rewrote dict[%d]", i)
+			}
+		}
+	})
+}
+
 // mfAllocHeavy reports whether a serialized mf model would pass Unmarshal's
 // structural checks while claiming entity ids past 2^20 — legal on the
 // wire (the id space cap is 2^24) but a dense-table allocation too large

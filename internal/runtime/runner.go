@@ -31,6 +31,13 @@ type Config struct {
 	// exchange, and AES-GCM sealing of every gossip payload. False runs
 	// the paper's "native" build: same protocol, plaintext, unattested.
 	Secure bool
+	// Wire selects the gossip frame encoding: WireDelta (the zero value,
+	// and the default) sends per-peer delta frames with acked-state
+	// back-references and columnar packing; WireFull sends the flat
+	// pre-delta format. Decoding is driven by each frame's kind byte, so
+	// mixed-mode clusters interoperate — the knob only affects what this
+	// node sends.
+	Wire WireMode
 	// Platform, Infra and Measurement configure attestation when Secure.
 	Platform    *attest.Platform
 	Infra       *attest.Infrastructure
@@ -131,6 +138,20 @@ type Stats struct {
 	// Rejoins counts dropped peers readmitted after their gossip resumed
 	// (Config.Rejoin).
 	Rejoins int
+	// DeltaRefs and DeltaExplicit count rating triplets sent as
+	// dictionary back-references versus explicit entries on the delta
+	// wire (Config.Wire); both zero under WireFull.
+	DeltaRefs, DeltaExplicit int64
+	// Resyncs counts stream-reset frames sent: full-frame resyncs
+	// triggered by peers whose view of this node's delta stream gapped
+	// (drops, churn, restarts).
+	Resyncs int64
+	// WireRawBytes accumulates, for every gossip frame actually handed to
+	// the transport, the plaintext bytes the full (flat) encoding would
+	// have cost. WireRawBytes-BytesOnWire is the volume the delta wire
+	// saved; in secure mode the comparison is approximate (it ignores the
+	// constant per-frame AEAD overhead both encodings pay).
+	WireRawBytes int64
 	// DroppedFrames and DelayedFrames count faults injected by a
 	// fault-injecting transport wrapper, when the endpoint reports them
 	// (see FaultReporter); zero on clean transports.
@@ -195,6 +216,17 @@ type runner struct {
 	sealScratch           map[int][]byte
 	// openScratch holds one plaintext buffer per gather worker slot.
 	openScratch [][]byte
+
+	// Delta wire state (Config.Wire == WireDelta): per-peer send/receive
+	// stream halves, a per-peer body scratch, the epoch's payload held
+	// for per-peer encoding, and the pre-built model section. The maps
+	// are fully populated on the protocol thread before any worker runs
+	// (initDelta); workers only ever touch their own peer's entries.
+	tx           map[int]*deltaTx
+	rx           map[int]*deltaRx
+	deltaScratch map[int][]byte
+	shareP       core.Payload
+	modelSection []byte
 }
 
 // recvStatus reports how a receive attempt ended.
@@ -328,14 +360,14 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 				drained = true
 				break
 			}
-			if len(env.Data) == 0 || env.Data[0] != kindGossip {
+			if !IsGossipFrame(env.Data) {
 				break
 			}
 			switch {
 			case r.isNeighbor(env.From):
-				r.bufferPending(env.From, env.Data[1:])
+				r.bufferPending(env.From, env.Data)
 			case r.cfg.Rejoin && r.isLost(env.From):
-				r.rejoinPeer(env.From, env.Data[1:])
+				r.rejoinPeer(env.From, env.Data)
 			}
 		default:
 			drained = true
@@ -376,10 +408,10 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 			}
 			continue
 		}
-		if len(env.Data) == 0 || env.Data[0] != kindGossip {
+		if !IsGossipFrame(env.Data) {
 			continue // stray attestation retransmit; ignore
 		}
-		frame := env.Data[1:]
+		frame := env.Data
 		switch {
 		case need[env.From]:
 			dispatch(env.From, frame)
@@ -406,11 +438,13 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 	payloads := make([]core.Payload, 0, len(opened))
 	for _, o := range opened {
 		if o.err != nil {
-			if errors.Is(o.err, seccha.ErrReplay) {
+			if errors.Is(o.err, seccha.ErrReplay) || errors.Is(o.err, errDeltaDiscard) {
 				// A duplicated (or replayed) frame consumed this round's
 				// slot for the peer; discard it and merge without — the
 				// peer's genuine frame is already buffered in pending for
-				// the next round.
+				// the next round. Rejected delta frames fold the same way:
+				// the stream's resync protocol restores the peer's state
+				// without blocking the round.
 				r.stats.Open += o.dur
 				continue
 			}
@@ -423,20 +457,24 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 	return payloads, nil
 }
 
-// open decrypts (when secure) and decodes one gossip frame. slot selects
-// the per-worker plaintext scratch (reused across epochs; the decoded
-// payload never aliases it — model and ratings decoding copy out).
+// open decrypts (when secure) and decodes one gossip frame. The frame
+// arrives with its kind byte (which rides outside the seal); decoding
+// dispatches on it, so full and delta senders interoperate in one
+// cluster. slot selects the per-worker plaintext scratch (reused across
+// epochs; the decoded payload never aliases it — model and ratings
+// decoding copy out).
 func (r *runner) open(slot, from int, frame []byte) openResult {
 	t0 := time.Now()
-	res := openResult{from: from, bytes: len(frame)}
-	body := frame
+	res := openResult{from: from, bytes: len(frame) - 1} // kind byte is framing
+	kind := frame[0]
+	body := frame[1:]
 	if r.cfg.Secure {
 		ch := r.channels[from]
 		if ch == nil {
 			res.err = fmt.Errorf("gossip from unattested peer")
 			return res
 		}
-		pt, err := ch.OpenSeqAppend(r.openScratch[slot][:0], frame)
+		pt, err := ch.OpenSeqAppend(r.openScratch[slot][:0], body)
 		if err != nil {
 			res.err = err
 			res.dur = time.Since(t0)
@@ -445,11 +483,24 @@ func (r *runner) open(slot, from int, frame []byte) openResult {
 		r.openScratch[slot] = pt
 		body = pt
 	}
-	newModel := r.cfg.NewModel
-	if newModel == nil {
-		newModel = func() model.Model { return nil }
+	switch kind {
+	case kindGossipDelta:
+		if r.tx == nil {
+			// A delta frame reached a node running without delta state
+			// (Wire == WireFull). Stream reconstruction needs the state,
+			// so the frame is discarded like a replay; same-mode clusters
+			// never hit this.
+			res.err = fmt.Errorf("%w: delta frame but wire mode is full", errDeltaDiscard)
+		} else {
+			res.pl, res.err = r.decodeDeltaFrame(from, body)
+		}
+	default:
+		newModel := r.cfg.NewModel
+		if newModel == nil {
+			newModel = func() model.Model { return nil }
+		}
+		res.pl, res.err = DecodePayload(body, newModel)
 	}
-	res.pl, res.err = DecodePayload(body, newModel)
 	res.dur = time.Since(t0)
 	return res
 }
@@ -538,6 +589,10 @@ type shareResult struct {
 	wire      time.Duration // summed time handing frames to the transport
 	bytes     int64         // payload bytes of accepted sends (Stats.BytesOut)
 	wireBytes int64         // full frame bytes incl. framing (Stats.BytesOnWire)
+	rawBytes  int64         // what the flat encoding would have cost (Stats.WireRawBytes)
+	refs      int64         // triplets sent as dictionary back-references
+	explicit  int64         // triplets sent explicitly on the delta wire
+	resyncs   int64         // stream-reset frames sent
 	lost      []int         // peers whose transport failed; the loop drops them
 	err       error         // fatal: the node's own endpoint closed
 }
@@ -562,21 +617,35 @@ func (r *runner) startShare(e int) (<-chan shareResult, error) {
 		}
 	}
 	payload := node.Share(deg, false)
-	var err error
-	r.encFull, err = EncodePayloadAppend(r.encFull[:0], payload)
-	if err != nil {
-		return nil, err
-	}
-	r.encEmpty, err = EncodePayloadAppend(r.encEmpty[:0], core.Payload{From: node.Cfg.ID, Degree: deg})
-	if err != nil {
-		return nil, err
-	}
-	if !r.cfg.Secure {
-		// The insecure path shares one kind-prefixed frame per body;
-		// transports copy on Send, so reusing the buffers next epoch is
-		// safe.
-		r.plainFull = append(append(r.plainFull[:0], kindGossip), r.encFull...)
-		r.plainEmpty = append(append(r.plainEmpty[:0], kindGossip), r.encEmpty...)
+	if r.cfg.Wire == WireDelta {
+		// Delta frames are per-peer (each peer's stream state decides what
+		// goes explicit), so encoding happens on the send workers; only
+		// the peer-independent pieces are built here on the protocol
+		// thread: the payload itself (its RNG draws must stay in protocol
+		// order) and the model section.
+		r.shareP = payload
+		if payload.Model != nil {
+			if err := r.buildModelSection(payload); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var err error
+		r.encFull, err = EncodePayloadAppend(r.encFull[:0], payload)
+		if err != nil {
+			return nil, err
+		}
+		r.encEmpty, err = EncodePayloadAppend(r.encEmpty[:0], core.Payload{From: node.Cfg.ID, Degree: deg})
+		if err != nil {
+			return nil, err
+		}
+		if !r.cfg.Secure {
+			// The insecure path shares one kind-prefixed frame per body;
+			// transports copy on Send, so reusing the buffers next epoch is
+			// safe.
+			r.plainFull = append(append(r.plainFull[:0], kindGossip), r.encFull...)
+			r.plainEmpty = append(append(r.plainEmpty[:0], kindGossip), r.encEmpty...)
+		}
 	}
 	// The send rule under oracle churn: a frame shared at epoch e is
 	// consumed at the receiver's round e+1, so skip neighbors scheduled
@@ -617,7 +686,9 @@ func (r *runner) sendShare(neighbors, probes []int, targets map[int]bool) shareR
 	start := time.Now()
 	type sendOut struct {
 		buf  []byte
+		dbuf []byte
 		n    int64
+		st   deltaSendStats
 		seal time.Duration
 		wire time.Duration
 		err  error
@@ -629,20 +700,41 @@ func (r *runner) sendShare(neighbors, probes []int, targets map[int]bool) shareR
 	outs := make([]sendOut, len(all))
 	sendOne := func(i, nb int) {
 		o := &outs[i]
-		body := r.encEmpty
-		if targets[nb] {
-			body = r.encFull
-		}
 		var frame []byte
-		if r.cfg.Secure {
+		switch {
+		case r.cfg.Wire == WireDelta:
+			// Per-peer delta encode against this peer's stream state; the
+			// worker owns the peer's tx/rx halves for the whole phase.
+			p := core.Payload{From: r.shareP.From, Degree: r.shareP.Degree}
+			if targets[nb] {
+				p = r.shareP
+			}
+			if r.cfg.Secure {
+				var body []byte
+				body, o.st = r.encodeDeltaBody(r.deltaScratch[nb][:0], nb, p)
+				o.dbuf = body
+				t0 := time.Now()
+				buf := append(r.sealScratch[nb][:0], kindGossipDelta)
+				frame = r.channels[nb].SealSeqAppend(buf, body)
+				o.seal = time.Since(t0)
+				o.buf = frame
+			} else {
+				frame, o.st = r.encodeDeltaBody(append(r.deltaScratch[nb][:0], kindGossipDelta), nb, p)
+				o.dbuf = frame
+			}
+		case r.cfg.Secure:
+			body := r.encEmpty
+			if targets[nb] {
+				body = r.encFull
+			}
 			t0 := time.Now()
 			buf := append(r.sealScratch[nb][:0], kindGossip)
 			frame = r.channels[nb].SealSeqAppend(buf, body)
 			o.seal = time.Since(t0)
 			o.buf = frame
-		} else if targets[nb] {
+		case targets[nb]:
 			frame = r.plainFull
-		} else {
+		default:
 			frame = r.plainEmpty
 		}
 		o.n = int64(len(frame) - 1) // the kind byte is framing, not payload
@@ -650,7 +742,7 @@ func (r *runner) sendShare(neighbors, probes []int, targets map[int]bool) shareR
 		o.err = r.cfg.Endpoint.Send(nb, frame)
 		o.wire = time.Since(t0)
 	}
-	if r.cfg.Secure && len(all) > 1 && goruntime.GOMAXPROCS(0) > 1 {
+	if (r.cfg.Secure || r.cfg.Wire == WireDelta) && len(all) > 1 && goruntime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
 		for i, nb := range all {
 			wg.Add(1)
@@ -672,12 +764,21 @@ func (r *runner) sendShare(neighbors, probes []int, targets map[int]bool) shareR
 		if o.buf != nil {
 			r.sealScratch[nb] = o.buf
 		}
+		if o.dbuf != nil {
+			r.deltaScratch[nb] = o.dbuf
+		}
 		res.seal += o.seal
 		res.wire += o.wire
 		switch {
 		case o.err == nil:
 			res.bytes += o.n
 			res.wireBytes += o.n + 1 // +1: the kind framing byte
+			res.rawBytes += o.st.raw
+			res.refs += o.st.refs
+			res.explicit += o.st.explicit
+			if o.st.resync {
+				res.resyncs++
+			}
 		case errors.Is(o.err, errEndpointClosed):
 			res.err = o.err
 		case probe:

@@ -299,6 +299,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"rejoins":       st.Rejoins,
 		"attested":      st.Attested,
 		"num_items":     s.cfg.NumItems,
+		// Delta-wire counters: zero across the board on the full wire.
+		"delta_refs":     st.DeltaRefs,
+		"delta_explicit": st.DeltaExplicit,
+		"resyncs":        st.Resyncs,
+		"wire_saved_bytes": func() int64 {
+			if v := st.WireRawBytes - st.BytesOnWire; v > 0 {
+				return v
+			}
+			return 0
+		}(),
 	}
 	if snap := s.cfg.Node.Snapshot(); snap != nil {
 		out["snapshot_epoch"] = snap.Epoch

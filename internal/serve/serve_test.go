@@ -417,3 +417,32 @@ func TestSnapshotEndpointRoundtrip(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusWireCounters: the delta-wire counters surface in /status, and
+// the reported saving is raw-equivalent minus on-wire bytes, clamped at
+// zero (full-wire runs report no negative savings).
+func TestStatusWireCounters(t *testing.T) {
+	n := &fakeNode{status: &runtime.Status{
+		DeltaRefs: 7, DeltaExplicit: 3, Resyncs: 2,
+		WireRawBytes: 1000, BytesOnWire: 400,
+	}}
+	s, err := New(Config{Node: n, NumItems: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body := get(t, s.Handler(), "/status")
+	for k, want := range map[string]float64{
+		"delta_refs": 7, "delta_explicit": 3, "resyncs": 2, "wire_saved_bytes": 600,
+	} {
+		if got, _ := body[k].(float64); got != want {
+			t.Fatalf("status %q = %v, want %v", k, body[k], want)
+		}
+	}
+
+	// Full wire: no raw-equivalent accounting, saving clamps at zero.
+	n.status = &runtime.Status{BytesOnWire: 400}
+	_, body = get(t, s.Handler(), "/status")
+	if got, _ := body["wire_saved_bytes"].(float64); got != 0 {
+		t.Fatalf("full-wire saving = %v, want 0", got)
+	}
+}
