@@ -29,6 +29,18 @@
 // against their delta-default twins and fails if the saving ratio drops
 // below the floor. Same philosophy: both sides come from one run of one
 // binary, so the quotient isolates the encoder.
+//
+// A third mode gates the scale path's memory footprint:
+//
+//	go run ./cmd/rexbench -scale -scale-users 50000 -scale-out scale_meas.json
+//	go run ./cmd/benchgate -scale scale_meas.json -scalebase BENCH_scale.json
+//
+// compares the measured bytes-per-user (post-GC live heap of a resident
+// simulation divided by node count) against the committed BENCH_scale.json
+// curve and fails when any size present in both exceeds the recorded value
+// by more than the baseline's tolerance. Live heap per user is a property
+// of the data structures, not the machine, so unlike wall-clock it gates
+// cleanly across CI runners.
 package main
 
 import (
@@ -129,13 +141,91 @@ func wireGate(path string, floor float64) bool {
 	return failed
 }
 
+// scaleReport mirrors internal/experiments.ScaleReport (decoded
+// structurally so the gate binary stays decoupled from the experiment
+// package's evolution).
+type scaleReport struct {
+	Tolerance float64 `json:"tolerance"`
+	Points    []struct {
+		Users        int     `json:"users"`
+		BytesPerUser float64 `json:"bytes_per_user"`
+	} `json:"points"`
+}
+
+func readScale(path string) (*scaleReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r scaleReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// scaleGate fails when a fresh measurement's bytes-per-user exceeds the
+// committed baseline by more than the baseline's tolerance at any size
+// present in both files. Sizes only one side measured are reported but
+// not gated, so CI can run a single-size smoke against the full curve.
+func scaleGate(measPath, basePath string) bool {
+	meas, err := readScale(measPath)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := readScale(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	tol := base.Tolerance
+	if tol <= 0 {
+		tol = 0.5
+	}
+	baseline := make(map[int]float64, len(base.Points))
+	for _, p := range base.Points {
+		baseline[p.Users] = p.BytesPerUser
+	}
+	failed := false
+	gated := 0
+	fmt.Printf("%12s %14s %14s %14s  %s\n", "users", "measured B/u", "recorded B/u", "ceiling", "verdict")
+	for _, p := range meas.Points {
+		rec, ok := baseline[p.Users]
+		if !ok {
+			fmt.Printf("%12d %14.0f %14s %14s  not in baseline (ungated)\n", p.Users, p.BytesPerUser, "-", "-")
+			continue
+		}
+		gated++
+		ceiling := rec * (1 + tol)
+		verdict := "ok"
+		if p.BytesPerUser > ceiling {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%12d %14.0f %14.0f %14.0f  %s\n", p.Users, p.BytesPerUser, rec, ceiling, verdict)
+	}
+	if gated == 0 {
+		fmt.Println("benchgate: no measured size matches the baseline curve")
+		return true
+	}
+	return failed
+}
+
 func main() {
 	basePath := flag.String("baseline", "BENCH_vec.json", "baseline JSON with gated speedup floors")
 	slowPath := flag.String("slow", "", "bench output of the REX_VEC=go run")
 	fastPath := flag.String("fast", "", "bench output of the dispatched run")
 	wirePath := flag.String("wire", "", "bench output holding BenchmarkClusterEpoch (delta + fullwire variants); gates the wire-byte ratio instead of the SIMD speedup")
 	wireFloor := flag.Float64("wirefloor", 3.0, "minimum fullwire/delta wireB/epoch ratio")
+	scalePath := flag.String("scale", "", "fresh rexbench -scale-out JSON; gates bytes-per-user against -scalebase")
+	scaleBase := flag.String("scalebase", "BENCH_scale.json", "committed scale baseline JSON")
 	flag.Parse()
+	if *scalePath != "" {
+		if scaleGate(*scalePath, *scaleBase) {
+			fmt.Fprintln(os.Stderr, "benchgate: scale bytes-per-user regressed above the recorded baseline")
+			os.Exit(1)
+		}
+		return
+	}
 	if *wirePath != "" {
 		if wireGate(*wirePath, *wireFloor) {
 			fmt.Fprintln(os.Stderr, "benchgate: delta wire saving regressed below the floor")

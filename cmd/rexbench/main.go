@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rex/internal/experiments"
@@ -19,15 +21,46 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
-		full     = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		points   = flag.Int("points", 12, "series rows printed per curve")
-		workers  = flag.Int("workers", 0, "simulator goroutines per epoch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		scenario = flag.String("scenario", "", "chaos scenario: a canned name (see internal/faultnet.Canned) or a JSON spec file; injects seeded message loss/delay/duplication/reordering, partitions and churn into every simulated run")
-		list     = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "all", "experiment id (table1, fig1..fig7, table2..table4, all)")
+		full       = flag.Bool("full", false, "run paper-scale workloads (610/15000 users, 400 epochs)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		points     = flag.Int("points", 12, "series rows printed per curve")
+		workers    = flag.Int("workers", 0, "simulator goroutines per epoch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		scenario   = flag.String("scenario", "", "chaos scenario: a canned name (see internal/faultnet.Canned) or a JSON spec file; injects seeded message loss/delay/duplication/reordering, partitions and churn into every simulated run")
+		list       = flag.Bool("list", false, "list available experiments")
+		scale      = flag.Bool("scale", false, "run the users-vs-cost scale sweep instead of a paper artifact")
+		scaleUsers = flag.String("scale-users", "1000,10000,50000,100000", "comma-separated node counts for -scale")
+		scaleEp    = flag.Int("scale-epochs", 3, "epochs per size for -scale")
+		scaleOut   = flag.String("scale-out", "", "write the -scale report as JSON (BENCH_scale.json schema) to this path")
 	)
 	flag.Parse()
+
+	if *scale {
+		var sizes []int
+		for _, f := range strings.Split(*scaleUsers, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "rexbench: bad -scale-users entry %q\n", f)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+		rep, err := experiments.RunScale(experiments.ScaleConfig{
+			Sizes: sizes, Epochs: *scaleEp, Seed: *seed, Out: os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		if *scaleOut != "" {
+			if err := experiments.WriteScaleReport(rep, *scaleOut); err != nil {
+				fmt.Fprintf(os.Stderr, "rexbench: scale: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("### scale report written to %s\n", *scaleOut)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

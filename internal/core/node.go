@@ -116,6 +116,24 @@ type Node struct {
 
 	rng   *rand.Rand
 	epoch int
+	scr   shareScratch
+}
+
+// shareScratch pools the buffers Share hands out as payload snapshots, so
+// a long simulation stops allocating per epoch once capacities plateau.
+//
+// The rotation depth is 3 and cannot be lower: a snapshot built at epoch e
+// is read by receivers merging at e+1, and — when a reorder fault defers
+// the message one barrier, or a duplicate rides along with it — as late as
+// e+2. The builder's next two Share calls must therefore hand out other
+// buffers; reuse at the third call (epoch e+3) happens strictly after the
+// e+2 barrier, so no reader can observe it.
+type shareScratch struct {
+	models [3]model.Model      // MS payload snapshots (refreshed via model.Copier)
+	data   [3][]dataset.Rating // DS payload samples
+	idx    int
+	perm   []int            // store-sampling permutation scratch
+	poison []dataset.Rating // Byzantine poisoned-sample scratch (local only)
 }
 
 // NewNode creates a node from its initial local partition (the data its
@@ -247,15 +265,21 @@ func (n *Node) Train() int {
 // payload is reused across all targets of the epoch (D-PSGD broadcasts the
 // same content to every neighbor).
 //
-// cloneModel controls whether the model is deep-copied: the simulator
-// clones once per epoch so receivers can read it after the sender moves
-// on; the live runtime serializes instead and passes cloneModel=false.
-func (n *Node) Share(selfDegree int, cloneModel bool) Payload {
+// retained signals that the caller keeps the payload past this call: the
+// simulator delivers it to receivers one or two epoch barriers later, so
+// MS payloads must be model snapshots (not the live model) and both modes
+// draw their buffers from a depth-3 rotation (see shareScratch) — callers
+// holding a retained payload may read it for at most two epochs, which is
+// the simulator's delivery horizon including reorder deferral. The live
+// runtime serializes the payload before returning to the protocol loop
+// and passes retained=false, getting the live model (zero-copy) and a
+// freshly allocated data sample.
+func (n *Node) Share(selfDegree int, retained bool) Payload {
 	p := Payload{From: n.Cfg.ID, Degree: selfDegree}
 	switch n.Cfg.Mode {
 	case ModelSharing:
-		if cloneModel {
-			p.Model = n.Model.Clone()
+		if retained {
+			p.Model = n.snapshotModel()
 		} else {
 			p.Model = n.Model
 		}
@@ -263,24 +287,56 @@ func (n *Node) Share(selfDegree int, cloneModel bool) Payload {
 			// Corrupt the outgoing copy by training it toward inverted
 			// ratings; the local model stays intact so the attack is
 			// covert.
-			if !cloneModel {
+			if !retained {
 				p.Model = n.Model.Clone()
 			}
-			poisoned := n.Store.Sample(minInt(256, n.Store.Len()), n.rng)
+			poisoned := n.Store.SampleAppend(n.scr.poison[:0], minInt(256, n.Store.Len()), n.rng, &n.scr.perm)
+			n.scr.poison = poisoned
 			for i := range poisoned {
 				poisoned[i].Value = 5.5 - poisoned[i].Value
 			}
 			p.Model.Train(poisoned, 4*len(poisoned), n.rng)
 		}
+		// Freeze lazy layout before the payload leaves this goroutine: a
+		// broadcast (D-PSGD) hands the same model pointer to every
+		// neighbor, and their concurrent merges must find the
+		// order-sensitive walks prebuilt, not race to build them.
+		if c, ok := p.Model.(model.Canonicalizer); ok {
+			c.Canonicalize()
+		}
 	case DataSharing:
-		p.Data = n.Store.Sample(n.Cfg.SharePoints, n.rng)
+		if retained {
+			buf := n.Store.SampleAppend(n.scr.data[n.scr.idx][:0], n.Cfg.SharePoints, n.rng, &n.scr.perm)
+			n.scr.data[n.scr.idx] = buf
+			p.Data = buf
+		} else {
+			p.Data = n.Store.Sample(n.Cfg.SharePoints, n.rng)
+		}
 		if n.Cfg.Byzantine {
 			for i := range p.Data {
 				p.Data[i].Value = 5.5 - p.Data[i].Value // invert the star scale
 			}
 		}
 	}
+	if retained {
+		n.scr.idx = (n.scr.idx + 1) % len(n.scr.data)
+	}
 	return p
+}
+
+// snapshotModel returns a read-only copy of the node's model from the
+// pooled rotation: the slot's previous occupant is overwritten in place
+// when the model supports model.Copier, falling back to a fresh Clone
+// (which then seeds the slot) otherwise.
+func (n *Node) snapshotModel() model.Model {
+	if buf := n.scr.models[n.scr.idx]; buf != nil {
+		if c, ok := buf.(model.Copier); ok && c.CopyFrom(n.Model) {
+			return buf
+		}
+	}
+	m := n.Model.Clone()
+	n.scr.models[n.scr.idx] = m
+	return m
 }
 
 // PayloadWireSize returns the encrypted-payload size in bytes for network

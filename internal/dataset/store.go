@@ -2,6 +2,76 @@ package dataset
 
 import "math/rand"
 
+// keyIndex is a compact open-addressing hash from a Rating.Key() to its
+// position in the ratings slice: linear probing, power-of-two capacity,
+// ~3/4 max load, no deletion. Positions are stored as pos+1 so the zero
+// value marks an empty cell. At ~16 bytes per entry (versus ~50 for a
+// built-in map) the dedup index stops dominating a node's store memory at
+// 100k-node scale.
+type keyIndex struct {
+	keys []uint64
+	pos  []int32 // position+1; 0 = empty
+	n    int
+}
+
+// mix64 is the splitmix64 finalizer — a full-avalanche 64-bit hash, so
+// (user<<32|item) keys with few distinct low bits still spread evenly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (x *keyIndex) get(key uint64) (int32, bool) {
+	if x.n == 0 {
+		return 0, false
+	}
+	mask := uint32(len(x.keys) - 1)
+	i := uint32(mix64(key)) & mask
+	for {
+		p := x.pos[i]
+		if p == 0 {
+			return 0, false
+		}
+		if x.keys[i] == key {
+			return p - 1, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (x *keyIndex) put(key uint64, pos int32) {
+	if 4*(x.n+1) > 3*len(x.keys) {
+		x.grow(2 * len(x.keys))
+	}
+	mask := uint32(len(x.keys) - 1)
+	i := uint32(mix64(key)) & mask
+	for x.pos[i] != 0 {
+		i = (i + 1) & mask
+	}
+	x.keys[i] = key
+	x.pos[i] = pos + 1
+	x.n++
+}
+
+func (x *keyIndex) grow(ncap int) {
+	if ncap < 16 {
+		ncap = 16
+	}
+	keys, pos := x.keys, x.pos
+	x.keys = make([]uint64, ncap)
+	x.pos = make([]int32, ncap)
+	x.n = 0
+	for i, p := range pos {
+		if p != 0 {
+			x.put(keys[i], p-1)
+		}
+	}
+}
+
 // Store is the raw-data store a REX enclave keeps in protected memory. It
 // deduplicates on (user, item): the paper's sampling is stateless, so a node
 // may receive the same data point more than once, and Algorithm 2 line 16
@@ -9,7 +79,7 @@ import "math/rand"
 // first occurrence so training iteration is deterministic under a fixed rng.
 type Store struct {
 	ratings []Rating
-	index   map[uint64]int // Key() -> position in ratings
+	index   keyIndex // Key() -> position in ratings
 	// appended counts total Append attempts; appended-Len() is the number
 	// of duplicates rejected, a quantity surfaced in metrics.
 	appended int
@@ -18,7 +88,7 @@ type Store struct {
 // NewStore creates a store seeded with the node's initial local ratings.
 // Duplicate (user,item) pairs in the seed keep the last value.
 func NewStore(initial []Rating) *Store {
-	s := &Store{index: make(map[uint64]int, len(initial))}
+	s := &Store{}
 	s.Append(initial)
 	return s
 }
@@ -31,11 +101,11 @@ func (s *Store) Append(rs []Rating) int {
 	added := 0
 	for _, r := range rs {
 		s.appended++
-		if pos, ok := s.index[r.Key()]; ok {
+		if pos, ok := s.index.get(r.Key()); ok {
 			s.ratings[pos].Value = r.Value
 			continue
 		}
-		s.index[r.Key()] = len(s.ratings)
+		s.index.put(r.Key(), int32(len(s.ratings)))
 		s.ratings = append(s.ratings, r)
 		added++
 	}
@@ -54,7 +124,7 @@ func (s *Store) Ratings() []Rating { return s.ratings }
 
 // Contains reports whether the (user, item) interaction is present.
 func (s *Store) Contains(user, item uint32) bool {
-	_, ok := s.index[Rating{User: user, Item: item}.Key()]
+	_, ok := s.index.get(Rating{User: user, Item: item}.Key())
 	return ok
 }
 
@@ -64,17 +134,41 @@ func (s *Store) Contains(user, item uint32) bool {
 // sampler keeps no memory of what was previously shared, so across epochs
 // the same point may be re-sent.
 func (s *Store) Sample(n int, rng *rand.Rand) []Rating {
+	var perm []int
+	return s.SampleAppend(nil, n, rng, &perm)
+}
+
+// SampleAppend is Sample with caller-owned buffers: the drawn points are
+// appended to dst and *perm is reused as permutation scratch. The rng draw
+// sequence is identical to Sample's (it replays rand.Perm's swaps into the
+// scratch buffer), so pooled and unpooled sampling produce bit-identical
+// trajectories; a node sampling every epoch stops allocating once its
+// buffers reach steady-state capacity.
+func (s *Store) SampleAppend(dst []Rating, n int, rng *rand.Rand, perm *[]int) []Rating {
 	if n >= len(s.ratings) {
-		out := make([]Rating, len(s.ratings))
-		copy(out, s.ratings)
-		return out
+		return append(dst, s.ratings...)
 	}
-	idx := rng.Perm(len(s.ratings))[:n]
-	out := make([]Rating, n)
-	for i, j := range idx {
-		out[i] = s.ratings[j]
+	// rand.Perm(len) inlined over the reusable scratch: the loop below is
+	// math/rand's exactly — including the wasted Intn(1) draw at i=0 that
+	// Perm keeps for Go 1 stream compatibility — so the rng advances
+	// identically, with no per-call permutation allocation. Every cell is
+	// written before it is read, so the scratch needs no clearing.
+	p := *perm
+	if need := len(s.ratings); cap(p) < need {
+		p = make([]int, need)
+	} else {
+		p = p[:need]
 	}
-	return out
+	for i := 0; i < len(p); i++ {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	*perm = p
+	for _, j := range p[:n] {
+		dst = append(dst, s.ratings[j])
+	}
+	return dst
 }
 
 // Bytes returns the encoded size of the whole store, used for the enclave

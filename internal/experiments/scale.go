@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"rex/internal/core"
+	"rex/internal/dataset"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/sim"
+	"rex/internal/topology"
+)
+
+// This file measures the million-user scale path: users-vs-epoch-time and
+// users-vs-heap curves for the REX simulator over the streamed small-world
+// topology, sparse model tables and pooled epoch state. The workload is
+// synthetic (one user per node, a fixed handful of ratings each) so node
+// count is the only variable: the curves isolate the per-user cost of the
+// engine itself, which is what bounds the single-machine maximum.
+
+// ScalePoint is one row of the users-vs-cost curve.
+type ScalePoint struct {
+	Users  int `json:"users"`
+	Epochs int `json:"epochs"`
+	// EpochSec is mean wall-clock per epoch (setup excluded).
+	EpochSec float64 `json:"epoch_sec"`
+	// SetupSec is the one-time cost: data synthesis and engine construction.
+	SetupSec float64 `json:"setup_sec"`
+	// PeakHeapBytes is the highest Go heap (HeapAlloc) sampled during the
+	// run; LiveHeapBytes is HeapAlloc after a forced GC at the end — the
+	// resident state, free of sampling luck, that the gate divides by
+	// Users to get BytesPerUser.
+	PeakHeapBytes int64   `json:"peak_heap_bytes"`
+	LiveHeapBytes int64   `json:"live_heap_bytes"`
+	BytesPerUser  float64 `json:"bytes_per_user"`
+	// SimHeapPerNode is the simulator's own modeled per-node trusted heap
+	// (mean over nodes) — the paper-facing metric, distinct from the host
+	// process costs above.
+	SimHeapPerNode float64 `json:"sim_heap_per_node"`
+	FinalRMSE      float64 `json:"final_rmse"`
+}
+
+// ScaleReport is the BENCH_scale.json schema. Tolerance is the gated
+// headroom: cmd/benchgate -scale fails when a fresh measurement's
+// BytesPerUser exceeds the recorded value by more than Tolerance
+// (fractional), for any size present in both files.
+type ScaleReport struct {
+	Note      string       `json:"note"`
+	Recorded  string       `json:"recorded"`
+	Tolerance float64      `json:"tolerance"`
+	MaxUsers  int          `json:"max_users_single_machine"`
+	Points    []ScalePoint `json:"points"`
+}
+
+// ScaleConfig parameterizes a scale sweep.
+type ScaleConfig struct {
+	Sizes  []int // node counts, ascending
+	Epochs int   // epochs per size (short: the engine reaches steady state fast)
+	Seed   int64
+	Out    io.Writer // human-readable table; nil = discard
+}
+
+// scaleRatings synthesizes node i's data: one user (id == node), train
+// ratings over a bounded item space plus a held-out test slice, derived
+// from (seed, i) with the splitmix64 generator so setup is O(n) with no
+// shared dataset to build, sort or partition.
+func scaleRatings(seed int64, i int) (train, test []dataset.Rating) {
+	const perNode, testPer, itemSpace = 24, 8, 1 << 15
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)
+	all := make([]dataset.Rating, 0, perNode+testPer)
+	for k := 0; k < perNode+testPer; k++ {
+		h = mix(h + uint64(k) + 1)
+		item := uint32(h % itemSpace)
+		// Half-star values in [0.5, 5.0], biased deterministic per (user,item).
+		val := float32(h>>32%10+1) / 2
+		all = append(all, dataset.Rating{User: uint32(i), Item: item, Value: val})
+	}
+	return all[:perNode], all[perNode:]
+}
+
+// heapSampler polls HeapAlloc in the background to catch the transient
+// peak between GCs; ReadMemStats stops the world briefly, so the period is
+// kept coarse.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak int64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms goruntime.MemStats
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				goruntime.ReadMemStats(&ms)
+				if h := int64(ms.HeapAlloc); h > s.peak {
+					s.peak = h
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) finish() int64 {
+	close(s.stop)
+	<-s.done
+	return s.peak
+}
+
+// RunScale executes the sweep and returns one point per size. Each size is
+// an independent deterministic simulation: REX data sharing under D-PSGD
+// on the streamed small-world topology (k=6, pFar=3%, the paper's §IV-A2a
+// parameters), matrix factorization models, short fixed-step epochs.
+func RunScale(cfg ScaleConfig) (*ScaleReport, error) {
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 3
+	}
+	rep := &ScaleReport{
+		Note: "users-vs-cost curve: REX DS/D-PSGD, streamed small-world (k=6, pFar=0.03), " +
+			"synthetic 1-user nodes (24 train / 8 test ratings), MF models, " +
+			fmt.Sprintf("%d epochs, 30 steps/epoch, 10 share points", cfg.Epochs),
+		Recorded:  time.Now().UTC().Format("2006-01-02"),
+		Tolerance: 0.5,
+	}
+	fmt.Fprintf(out, "%10s %10s %12s %14s %14s %12s %10s\n",
+		"users", "epoch(s)", "setup(s)", "peakHeap", "liveHeap", "B/user", "RMSE")
+	for _, n := range cfg.Sizes {
+		p, err := runScalePoint(n, cfg.Epochs, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("scale %d users: %w", n, err)
+		}
+		rep.Points = append(rep.Points, *p)
+		if n > rep.MaxUsers {
+			rep.MaxUsers = n
+		}
+		fmt.Fprintf(out, "%10d %10.3f %12.3f %14d %14d %12.0f %10.4f\n",
+			p.Users, p.EpochSec, p.SetupSec, p.PeakHeapBytes, p.LiveHeapBytes, p.BytesPerUser, p.FinalRMSE)
+	}
+	return rep, nil
+}
+
+func runScalePoint(n, epochs int, seed int64) (*ScalePoint, error) {
+	goruntime.GC()
+	sampler := startHeapSampler()
+	setupStart := time.Now()
+	train := make([][]dataset.Rating, n)
+	test := make([][]dataset.Rating, n)
+	for i := 0; i < n; i++ {
+		train[i], test[i] = scaleRatings(seed, i)
+	}
+	// live is measured from inside the run (AfterEpoch on the final
+	// epoch): a forced GC with the engine, nodes and buffers all still
+	// resident gives the stable post-collection footprint of the whole
+	// simulation — the quantity worth gating per user. Measuring after
+	// sim.Run returns would see almost nothing: the engine is garbage by
+	// then.
+	var live int64
+	mcfg := mf.DefaultConfig()
+	simCfg := sim.Config{
+		Graph: topology.NewSmallWorldStream(n, 6, 0.03, uint64(seed)+0xC0FFEE),
+		Algo:  gossip.DPSGD, Mode: core.DataSharing,
+		Epochs: epochs, StepsPerEpoch: 30, SharePoints: 10,
+		NewModel: func(id int) model.Model { return mf.New(mcfg) },
+		Train:    train, Test: test,
+		Compute:   sim.MFCompute(mcfg.K),
+		TestEvery: epochs, // one RMSE pass at the end
+		AfterEpoch: func(e int) {
+			if e == epochs-1 {
+				var ms goruntime.MemStats
+				goruntime.GC()
+				goruntime.ReadMemStats(&ms)
+				live = int64(ms.HeapAlloc)
+			}
+		},
+		Seed: seed,
+	}
+	setup := time.Since(setupStart)
+	runStart := time.Now()
+	res, err := sim.Run(simCfg)
+	if err != nil {
+		sampler.finish()
+		return nil, err
+	}
+	wall := time.Since(runStart)
+	peak := sampler.finish()
+	if live > peak {
+		peak = live
+	}
+	return &ScalePoint{
+		Users: n, Epochs: epochs,
+		EpochSec:       wall.Seconds() / float64(epochs),
+		SetupSec:       setup.Seconds(),
+		PeakHeapBytes:  peak,
+		LiveHeapBytes:  live,
+		BytesPerUser:   float64(live) / float64(n),
+		SimHeapPerNode: res.MeanHeapBytes,
+		FinalRMSE:      res.FinalRMSE,
+	}, nil
+}
+
+// WriteScaleReport writes the report as indented JSON to path.
+func WriteScaleReport(rep *ScaleReport, path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

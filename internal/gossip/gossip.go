@@ -49,10 +49,10 @@ func ParseAlgo(s string) (Algo, error) {
 // Targets returns the neighbors node i shares with in the current epoch:
 // one random neighbor under RMW, all neighbors under D-PSGD. The result
 // aliases graph storage for DPSGD and must not be modified.
-func Targets(a Algo, g *topology.Graph, i int, rng *rand.Rand) []int {
+func Targets(a Algo, g topology.Source, i int, rng *rand.Rand) []int {
 	switch a {
 	case RMW:
-		j := g.RandomNeighbor(i, rng)
+		j := topology.RandomNeighborOf(g, i, rng)
 		if j < 0 {
 			return nil
 		}
@@ -64,8 +64,29 @@ func Targets(a Algo, g *topology.Graph, i int, rng *rand.Rand) []int {
 	}
 }
 
+// TargetsAppend is Targets with a caller-owned buffer: the epoch's targets
+// are appended to dst (usually a recycled scratch slice) and the extended
+// slice is returned. The rng draw sequence is identical to Targets', so
+// pooled and unpooled dissemination pick the same peers; unlike Targets,
+// the result never aliases graph storage and is safe to retain until the
+// caller reuses the buffer.
+func TargetsAppend(dst []int, a Algo, g topology.Source, i int, rng *rand.Rand) []int {
+	switch a {
+	case RMW:
+		j := topology.RandomNeighborOf(g, i, rng)
+		if j < 0 {
+			return dst
+		}
+		return append(dst, j)
+	case DPSGD:
+		return append(dst, g.Neighbors(i)...)
+	default:
+		panic("gossip: unknown algorithm")
+	}
+}
+
 // Fanout returns the expected number of messages node i sends per epoch.
-func Fanout(a Algo, g *topology.Graph, i int) int {
+func Fanout(a Algo, g topology.Source, i int) int {
 	if a == RMW {
 		if g.Degree(i) == 0 {
 			return 0

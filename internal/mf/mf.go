@@ -7,10 +7,13 @@
 // Predictions are p_ij = x_i·y_j + b_i + c_j. Hyperparameters follow
 // §IV-A3a: η = 0.005, λ = 0.1, k = 10.
 //
-// Storage is dense over the id space with a presence bitmap: a node only
-// "has" embeddings for users/items it has trained on or merged in, and
-// only those go on the wire, but lookups and merges are flat array walks —
-// the hot path of decentralized simulation.
+// Storage is sparse: factor rows live densely packed in slot order with a
+// compact id→slot hash index on top, so a node's memory is proportional to
+// the users/items it has actually trained on or merged in — never to the
+// highest id it has ever seen. Marshaling walks ids in ascending order, so
+// the wire format is byte-identical to the earlier dense-table layout, and
+// initial embeddings stay a pure function of (seed, id), so trajectories
+// are bit-identical regardless of storage layout or touch order.
 package mf
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"rex/internal/dataset"
 	"rex/internal/model"
@@ -39,92 +43,235 @@ func DefaultConfig() Config {
 	return Config{K: 10, LearningRate: 0.005, Reg: 0.1, InitStd: 0.1, GlobalMean: 3.5, Seed: 7}
 }
 
-// table is one side's dense storage (users or items).
+// idIndex is a minimal open-addressing hash from entity id to packed slot:
+// linear probing, power-of-two capacity, ~3/4 max load, no deletion. Keys
+// are stored as id+1 so the zero value marks an empty cell. At scale this
+// costs ~11 bytes per entry versus ~50 for a built-in map — the difference
+// between holding 100k sparse nodes and not.
+type idIndex struct {
+	keys  []int32 // id+1; 0 = empty
+	slots []int32
+	n     int
+}
+
+// get is deliberately loop-free so it inlines into the SGD hot path; the
+// probe loop lives in the out-of-line slow path.
+func (x *idIndex) get(id int32) (int32, bool) {
+	if x.n == 0 {
+		return 0, false
+	}
+	i := (uint32(id) * 2654435761) & uint32(len(x.keys)-1)
+	k := x.keys[i]
+	if k == id+1 {
+		return x.slots[i], true
+	}
+	if k == 0 {
+		return 0, false
+	}
+	return x.probe(id, i)
+}
+
+func (x *idIndex) probe(id int32, i uint32) (int32, bool) {
+	mask := uint32(len(x.keys) - 1)
+	for {
+		i = (i + 1) & mask
+		k := x.keys[i]
+		if k == id+1 {
+			return x.slots[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+	}
+}
+
+func (x *idIndex) put(id, slot int32) {
+	if 4*(x.n+1) > 3*len(x.keys) {
+		x.grow(2 * len(x.keys))
+	}
+	mask := uint32(len(x.keys) - 1)
+	i := (uint32(id) * 2654435761) & mask
+	for x.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	x.keys[i] = id + 1
+	x.slots[i] = slot
+	x.n++
+}
+
+func (x *idIndex) grow(ncap int) {
+	if ncap < 16 {
+		ncap = 16
+	}
+	keys, slots := x.keys, x.slots
+	x.keys = make([]int32, ncap)
+	x.slots = make([]int32, ncap)
+	x.n = 0
+	for i, k := range keys {
+		if k != 0 {
+			x.put(k-1, slots[i])
+		}
+	}
+}
+
+// reserve sizes the index for n entries up front without rehashing.
+func (x *idIndex) reserve(n int) {
+	c := 16
+	for 3*c < 4*n {
+		c *= 2
+	}
+	x.keys = make([]int32, c)
+	x.slots = make([]int32, c)
+	x.n = 0
+}
+
+func (x *idIndex) copyFrom(src *idIndex) {
+	x.keys = append(x.keys[:0], src.keys...)
+	x.slots = append(x.slots[:0], src.slots...)
+	x.n = src.n
+}
+
+// table is one side's sparse storage (users or items): factor rows packed
+// back to back in materialization order, biases and entity ids alongside,
+// and an id→slot index for lookups. An ascending-id slot permutation is
+// maintained lazily for the order-sensitive walks (marshal, merge).
 type table struct {
 	k       int
 	seed    uint64
 	initStd float32
-	f       []float32 // cap*k factor values
-	b       []float32 // cap biases
-	present []bool    // cap presence flags
-	count   int       // number of present entries
-	maxID   int       // 1 + highest present id (0 when empty)
+	f       []float32 // count*k packed factor rows, slot-major
+	b       []float32 // count per-slot biases
+	ids     []int32   // count slot -> entity id
+	idx     idIndex   // entity id -> slot
+
+	order      []int32 // slots in ascending-id order; valid when !orderStale
+	orderStale bool
+	maxID      int // 1 + highest present id (0 when empty)
 }
 
 func newTable(k int, seed uint64, initStd float64) *table {
 	return &table{k: k, seed: seed, initStd: float32(initStd)}
 }
 
-func (t *table) grow(id int) { t.growCap(id, true) }
+func (t *table) count() int { return len(t.ids) }
 
-// growCap ensures capacity for id. With round=true the capacity doubles
-// (amortized growth on the training path); round=false allocates exactly,
-// which merges use so peers' slack capacity never compounds.
-func (t *table) growCap(id int, round bool) {
-	if id < len(t.present) {
-		return
-	}
-	ncap := id + 1
-	if round {
-		if d := len(t.present) * 2; d > ncap {
-			ncap = d
-		}
-		if ncap < 16 {
-			ncap = 16
-		}
-	}
-	f := make([]float32, ncap*t.k)
-	copy(f, t.f)
-	b := make([]float32, ncap)
-	copy(b, t.b)
-	p := make([]bool, ncap)
-	copy(p, t.present)
-	t.f, t.b, t.present = f, b, p
+func (t *table) has(id int) bool {
+	_, ok := t.idx.get(int32(id))
+	return ok
 }
 
-// vec materializes (if needed) and returns the factor row for id. The
-// initial vector is a pure function of (seed, id), so two models with equal
-// seeds materialize identical embeddings regardless of touch order —
-// mirroring attested enclaves sharing initial state.
+// reserve pre-sizes the packed arrays for exactly n rows (merges and
+// unmarshal use it so peers' slack capacity never compounds).
+func (t *table) reserve(n int) {
+	t.f = make([]float32, 0, n*t.k)
+	t.b = make([]float32, 0, n)
+	t.ids = make([]int32, 0, n)
+	t.order = make([]int32, 0, n)
+	t.idx.reserve(n)
+}
+
+// appendRow adds a zeroed row for a not-yet-present id and returns its slot.
+func (t *table) appendRow(id int) int32 {
+	slot := int32(len(t.ids))
+	n := len(t.f)
+	if cap(t.f) < n+t.k {
+		grown := make([]float32, n, 2*n+16*t.k)
+		copy(grown, t.f)
+		t.f = grown
+	}
+	t.f = t.f[:n+t.k]
+	vec.Zero(t.f[n:])
+	t.b = append(t.b, 0)
+	t.ids = append(t.ids, int32(id))
+	t.idx.put(int32(id), slot)
+	if !t.orderStale {
+		if id >= t.maxID {
+			t.order = append(t.order, slot)
+		} else {
+			t.orderStale = true
+		}
+	}
+	if id+1 > t.maxID {
+		t.maxID = id + 1
+	}
+	return slot
+}
+
+// ordered returns the slots in ascending entity-id order, rebuilding the
+// permutation only when out-of-order materializations invalidated it.
+// Unmarshal and merge materialize ids ascending, so their appends keep the
+// permutation valid for free; only random-order training touches pay a sort.
+func (t *table) ordered() []int32 {
+	if t.orderStale || len(t.order) != len(t.ids) {
+		t.order = t.order[:0]
+		for s := range t.ids {
+			t.order = append(t.order, int32(s))
+		}
+		sort.Slice(t.order, func(i, j int) bool { return t.ids[t.order[i]] < t.ids[t.order[j]] })
+		t.orderStale = false
+	}
+	return t.order
+}
+
+// row returns the factor row stored at slot.
+func (t *table) row(slot int32) []float32 {
+	return t.f[int(slot)*t.k : (int(slot)+1)*t.k]
+}
+
+// vec materializes (if needed) and returns the factor row for id.
 func (t *table) vec(id int) []float32 {
-	t.grow(id)
-	row := t.f[id*t.k : (id+1)*t.k]
-	if !t.present[id] {
-		h := t.seed ^ uint64(id)*0x9E3779B97F4A7C15
-		for d := range row {
-			h ^= h << 13
-			h ^= h >> 7
-			h ^= h << 17
-			// Uniform in [-sqrt(3), sqrt(3)) * std has variance std^2.
-			// Spelled /2^52 rather than the equivalent /2^53*2: powers of
-			// two make the two forms bit-identical, but the *2 form gave
-			// the arm64 compiler a multiply to contract into the -1 (an
-			// FMA skips the intermediate rounding), which would give init
-			// embeddings different bits than the amd64-recorded golden
-			// trajectories — a division cannot be contracted (see
-			// internal/vec's package doc).
-			u := float32(h>>11)/float32(1<<52) - 1
-			row[d] = u * 1.7320508 * t.initStd
-		}
-		t.present[id] = true
-		t.count++
-		if id+1 > t.maxID {
-			t.maxID = id + 1
-		}
+	if s, ok := t.idx.get(int32(id)); ok {
+		return t.row(s)
+	}
+	return t.materialize(id)
+}
+
+// materialize appends and seeds the row for id. The initial vector is a
+// pure function of (seed, id), so two models with equal seeds materialize
+// identical embeddings regardless of touch order — mirroring attested
+// enclaves sharing initial state.
+func (t *table) materialize(id int) []float32 {
+	row := t.row(t.appendRow(id))
+	h := t.seed ^ uint64(id)*0x9E3779B97F4A7C15
+	for d := range row {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		// Uniform in [-sqrt(3), sqrt(3)) * std has variance std^2.
+		// Spelled /2^52 rather than the equivalent /2^53*2: powers of
+		// two make the two forms bit-identical, but the *2 form gave
+		// the arm64 compiler a multiply to contract into the -1 (an
+		// FMA skips the intermediate rounding), which would give init
+		// embeddings different bits than the amd64-recorded golden
+		// trajectories — a division cannot be contracted (see
+		// internal/vec's package doc).
+		u := float32(h>>11)/float32(1<<52) - 1
+		row[d] = u * 1.7320508 * t.initStd
 	}
 	return row
 }
 
-func (t *table) has(id int) bool { return id < len(t.present) && t.present[id] }
-
 func (t *table) clone() *table {
-	// Copy only the live prefix; slack capacity is an allocation artifact.
-	n := t.maxID
-	c := &table{k: t.k, seed: t.seed, initStd: t.initStd, count: t.count, maxID: t.maxID}
-	c.f = append([]float32(nil), t.f[:n*t.k]...)
-	c.b = append([]float32(nil), t.b[:n]...)
-	c.present = append([]bool(nil), t.present[:n]...)
+	c := &table{k: t.k, seed: t.seed, initStd: t.initStd, maxID: t.maxID, orderStale: t.orderStale}
+	c.f = append([]float32(nil), t.f...)
+	c.b = append([]float32(nil), t.b...)
+	c.ids = append([]int32(nil), t.ids...)
+	if !t.orderStale {
+		c.order = append([]int32(nil), t.order...)
+	}
+	c.idx.copyFrom(&t.idx)
 	return c
+}
+
+// copyFrom overwrites t with src's contents, reusing t's backing arrays.
+func (t *table) copyFrom(src *table) {
+	t.k, t.seed, t.initStd, t.maxID = src.k, src.seed, src.initStd, src.maxID
+	t.f = append(t.f[:0], src.f...)
+	t.b = append(t.b[:0], src.b...)
+	t.ids = append(t.ids[:0], src.ids...)
+	t.order = append(t.order[:0], src.order...)
+	t.orderStale = src.orderStale
+	t.idx.copyFrom(&src.idx)
 }
 
 // Model is a biased MF model.
@@ -182,23 +329,22 @@ func (m *Model) Train(data []dataset.Rating, steps int, rng *rand.Rand) {
 		drawIndices(batch, rng, len(data))
 		for _, ix := range batch {
 			r := data[ix]
-			u, it := int(r.User), int(r.Item)
-			// Inlined present-row fast paths: a helper carrying the
-			// materialize fallback exceeds the inlining budget, and the
-			// call overhead is visible at this loop's ~25ns/step scale.
-			var x, y []float32
-			if u < len(users.present) && users.present[u] {
-				x = users.f[u*k : (u+1)*k]
-			} else {
-				x = users.vec(u)
+			// idIndex.get's fast path inlines here; only a first-touch of
+			// an id (or a probe collision) leaves the loop body.
+			us, ok := users.idx.get(int32(r.User))
+			if !ok {
+				users.materialize(int(r.User))
+				us, _ = users.idx.get(int32(r.User))
 			}
-			if it < len(items.present) && items.present[it] {
-				y = items.f[it*k : (it+1)*k]
-			} else {
-				y = items.vec(it)
+			is, ok := items.idx.get(int32(r.Item))
+			if !ok {
+				items.materialize(int(r.Item))
+				is, _ = items.idx.get(int32(r.Item))
 			}
-			users.b[u], items.b[it] = vec.FusedSGDStep(
-				x, y, r.Value, mean, users.b[u], items.b[it], lr, reg)
+			x := users.f[int(us)*k : (int(us)+1)*k]
+			y := items.f[int(is)*k : (int(is)+1)*k]
+			users.b[us], items.b[is] = vec.FusedSGDStep(
+				x, y, r.Value, mean, users.b[us], items.b[is], lr, reg)
 		}
 		remaining -= bsz
 	}
@@ -223,17 +369,16 @@ func (m *Model) PredictBatch(users, items []uint32, out []float32) {
 
 func (m *Model) predictOne(u, it int) float32 {
 	p := float32(m.cfg.GlobalMean)
-	hasU := m.users.has(u)
-	hasI := m.items.has(it)
+	us, hasU := m.users.idx.get(int32(u))
+	is, hasI := m.items.idx.get(int32(it))
 	if hasU {
-		p += m.users.b[u]
+		p += m.users.b[us]
 	}
 	if hasI {
-		p += m.items.b[it]
+		p += m.items.b[is]
 	}
 	if hasU && hasI {
-		k := m.cfg.K
-		p += vec.Dot(m.users.f[u*k:(u+1)*k], m.items.f[it*k:(it+1)*k])
+		p += vec.Dot(m.users.row(us), m.items.row(is))
 	}
 	return p
 }
@@ -241,24 +386,48 @@ func (m *Model) predictOne(u, it int) float32 {
 // ParamCount returns the number of scalar parameters held: (k+1) per known
 // user plus (k+1) per known item.
 func (m *Model) ParamCount() int {
-	return (m.cfg.K + 1) * (m.users.count + m.items.count)
+	return (m.cfg.K + 1) * (m.users.count() + m.items.count())
 }
 
 // WireSize implements model.Model: the exact Marshal output length.
 func (m *Model) WireSize() int {
 	rec := 4 + 4 + 4*m.cfg.K
-	return 16 + rec*(m.users.count+m.items.count)
+	return 16 + rec*(m.users.count()+m.items.count())
 }
 
 // NumUsers returns how many distinct users the model has embeddings for.
-func (m *Model) NumUsers() int { return m.users.count }
+func (m *Model) NumUsers() int { return m.users.count() }
 
 // NumItems returns how many distinct items the model has embeddings for.
-func (m *Model) NumItems() int { return m.items.count }
+func (m *Model) NumItems() int { return m.items.count() }
 
 // Clone returns a deep copy sharing no state.
 func (m *Model) Clone() model.Model {
 	return &Model{cfg: m.cfg, users: m.users.clone(), items: m.items.clone()}
+}
+
+// CopyFrom implements model.Copier: it overwrites m with src's parameters
+// while reusing m's backing arrays, so a pooled share buffer refreshed
+// every epoch stops allocating once its capacity plateaus.
+func (m *Model) CopyFrom(src model.Model) bool {
+	o, ok := src.(*Model)
+	if !ok || o.cfg != m.cfg {
+		return false
+	}
+	m.users.copyFrom(o.users)
+	m.items.copyFrom(o.items)
+	return true
+}
+
+// Canonicalize implements model.Canonicalizer: it rebuilds the lazy
+// ascending-id slot permutations now, on the caller's goroutine. A shared
+// payload model must be canonicalized before publication — mergeTables
+// and emitTable call ordered() on source tables, and that rebuild is a
+// mutation that several receivers merging the same payload concurrently
+// must never perform themselves.
+func (m *Model) Canonicalize() {
+	m.users.ordered()
+	m.items.ordered()
 }
 
 // MergeWeighted implements model.Model. For each entity, the result is the
@@ -285,74 +454,95 @@ func (m *Model) MergeWeighted(selfW float64, others []model.Weighted) {
 	mergeTables(m.items, float32(selfW), itemTabs, ws)
 }
 
-// mergeTables folds the source tables into dst in a single pass over the
-// union id range: each id's source-presence set is computed once (as a
-// bitmask when fan-in allows) and then replayed through the vec kernels,
-// instead of re-walking the sources per phase. The accumulation order —
-// dst scaled first, then each source added in peer order — matches the
-// scalar implementation exactly, so merges stay bit-identical.
+// mergeTables folds the source tables into dst in a single ascending-id
+// union walk over the tables' ordered slot permutations: each id's
+// source-presence set is computed once from the walk cursors and replayed
+// through the vec kernels. The id visit order (ascending) and the per-id
+// accumulation order — dst scaled first, then each source added in peer
+// order — match the dense implementation exactly, so merges stay
+// bit-identical to the recorded golden trajectories.
 func mergeTables(dst *table, selfW float32, srcs []*table, ws []float32) {
-	// Size dst to the union of live id ranges (not capacities) exactly.
-	maxLen := dst.maxID
-	for _, s := range srcs {
-		if s.maxID > maxLen {
-			maxLen = s.maxID
-		}
+	dstOrd := dst.ordered()
+	dpos := 0
+	sOrd := make([][]int32, len(srcs))
+	pos := make([]int, len(srcs))
+	match := make([]bool, len(srcs))
+	total := len(dstOrd)
+	for i, s := range srcs {
+		sOrd[i] = s.ordered()
+		total += len(sOrd[i])
 	}
-	if maxLen == 0 {
+	if total == 0 {
 		return
 	}
-	dst.growCap(maxLen-1, false)
-	k := dst.k
-	useMask := len(srcs) <= 64
-	for id := 0; id < maxLen; id++ {
+	// New dst rows materialize in ascending id order during the walk.
+	// dstOrd views dst.order's pre-merge prefix; in-order appends extend
+	// past it and cannot disturb the walk.
+	for {
+		const none = int32(math.MaxInt32)
+		id := none
+		if dpos < len(dstOrd) {
+			id = dst.ids[dstOrd[dpos]]
+		}
+		for i, s := range srcs {
+			if pos[i] < len(sOrd[i]) {
+				if v := s.ids[sOrd[i][pos[i]]]; v < id {
+					id = v
+				}
+			}
+		}
+		if id == none {
+			break
+		}
+		dstHas := dpos < len(dstOrd) && dst.ids[dstOrd[dpos]] == id
 		var wsum float32
-		if dst.present[id] {
+		if dstHas {
 			wsum = selfW
 		}
-		var mask uint64
 		anyAlien := false
 		for si, s := range srcs {
-			if s.has(id) {
+			hit := pos[si] < len(sOrd[si]) && s.ids[sOrd[si][pos[si]]] == id
+			match[si] = hit
+			if hit {
 				wsum += ws[si]
 				anyAlien = true
-				if useMask {
-					mask |= 1 << uint(si)
-				}
 			}
 		}
-		if !anyAlien || wsum == 0 {
-			continue // nothing new for this entity
-		}
-		drow := dst.f[id*k : (id+1)*k]
-		var bias float32
-		if dst.present[id] {
-			w := selfW / wsum
-			vec.Scale(w, drow)
-			bias = dst.b[id] * w
-		} else {
-			vec.Zero(drow)
-			dst.present[id] = true
-			dst.count++
-			if id+1 > dst.maxID {
-				dst.maxID = id + 1
+		if anyAlien && wsum != 0 {
+			var dslot int32
+			if dstHas {
+				dslot = dstOrd[dpos]
+			} else {
+				dslot = dst.appendRow(int(id)) // zeroed row, marked present
 			}
-		}
-		for si, s := range srcs {
-			if useMask {
-				if mask&(1<<uint(si)) == 0 {
+			drow := dst.row(dslot)
+			var bias float32
+			if dstHas {
+				w := selfW / wsum
+				vec.Scale(w, drow)
+				bias = dst.b[dslot] * w
+			}
+			for si, s := range srcs {
+				if !match[si] {
 					continue
 				}
-			} else if !s.has(id) {
-				continue
+				w := ws[si] / wsum
+				ss := sOrd[si][pos[si]]
+				vec.AddScaled(drow, s.row(ss), w)
+				// float32(...) bars FMA contraction on arm64 (golden merge
+				// hashes are recorded on amd64 — see internal/vec's doc).
+				bias += float32(w * s.b[ss])
 			}
-			w := ws[si] / wsum
-			vec.AddScaled(drow, s.f[id*k:(id+1)*k], w)
-			// float32(...) bars FMA contraction on arm64 (golden merge
-			// hashes are recorded on amd64 — see internal/vec's doc).
-			bias += float32(w * s.b[id])
+			dst.b[dslot] = bias
 		}
-		dst.b[id] = bias
+		if dstHas {
+			dpos++
+		}
+		for si := range srcs {
+			if match[si] {
+				pos[si]++
+			}
+		}
 	}
 }
 
@@ -385,26 +575,24 @@ func (m *Model) MarshalAppend(dst []byte) ([]byte, error) {
 	buf := dst[start:]
 	binary.LittleEndian.PutUint32(buf, magic)
 	binary.LittleEndian.PutUint32(buf[4:], uint32(m.cfg.K))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(m.users.count))
-	binary.LittleEndian.PutUint32(buf[12:], uint32(m.items.count))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.users.count()))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(m.items.count()))
 	off := emitTable(buf, 16, m.users)
 	emitTable(buf, off, m.items)
 	return dst, nil
 }
 
-// emitTable writes a table's present records at buf[off:] and returns the
-// offset past the last one. A top-level function (not a closure) so the
-// write cursor stays in a register on the serialization hot path.
+// emitTable writes a table's present records at buf[off:] in ascending id
+// order and returns the offset past the last one. A top-level function
+// (not a closure) so the write cursor stays in a register on the
+// serialization hot path.
 func emitTable(buf []byte, off int, t *table) int {
 	k := t.k
-	for id := 0; id < t.maxID; id++ {
-		if !t.present[id] {
-			continue
-		}
-		binary.LittleEndian.PutUint32(buf[off:], uint32(id))
-		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(t.b[id]))
+	for _, slot := range t.ordered() {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(t.ids[slot]))
+		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(t.b[slot]))
 		o := off + 8
-		for _, x := range t.f[id*k : (id+1)*k] {
+		for _, x := range t.f[int(slot)*k : (int(slot)+1)*k] {
 			binary.LittleEndian.PutUint32(buf[o:], math.Float32bits(x))
 			o += 4
 		}
@@ -443,17 +631,16 @@ func (m *Model) Unmarshal(b []byte) error {
 			return nil
 		}
 		// Marshal emits records in strictly increasing id order, so the
-		// section's last record carries its highest id: validate it, then
-		// allocate the table exactly once for the whole bulk copy.
+		// section's last record carries its highest id: validate it before
+		// touching the table. (The sparse layout allocates by record count,
+		// not by id, so a huge id is no longer a decompression bomb — the
+		// bound is kept as a wire-compatibility sanity check: real id
+		// spaces here are ~10^4-10^5, anything wildly beyond is corruption.)
 		last := int(binary.LittleEndian.Uint32(b[off+(n-1)*rec:]))
 		if last > maxEntityID {
-			// A dense table is allocated up to the highest id, so a tiny
-			// frame claiming a huge id would be a decompression bomb
-			// (64 bytes of wire -> gigabytes of table). Real id spaces
-			// here are ~10^4-10^5; reject anything wildly beyond them.
 			return fmt.Errorf("mf: implausible entity id %d", last)
 		}
-		t.growCap(last, false)
+		t.reserve(n)
 		prev := -1
 		for i := 0; i < n; i++ {
 			id := int(binary.LittleEndian.Uint32(b[off:]))
@@ -461,13 +648,9 @@ func (m *Model) Unmarshal(b []byte) error {
 				return fmt.Errorf("mf: record %d id %d violates strict id order (previous %d, section max %d)", i, id, prev, last)
 			}
 			prev = id
-			t.present[id] = true
-			t.count++
-			if id+1 > t.maxID {
-				t.maxID = id + 1
-			}
-			t.b[id] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+4:]))
-			row := t.f[id*k : (id+1)*k]
+			slot := t.appendRow(id)
+			t.b[slot] = math.Float32frombits(binary.LittleEndian.Uint32(b[off+4:]))
+			row := t.row(slot)
 			src := b[off+8 : off+rec]
 			for d := range row {
 				row[d] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*d:]))

@@ -1,7 +1,12 @@
 package mf
 
 import (
+	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -303,7 +308,184 @@ func TestMergeCapacityStable(t *testing.T) {
 		a.MergeWeighted(0.5, []model.Weighted{{M: b, W: 0.5}})
 		b.MergeWeighted(0.5, []model.Weighted{{M: a, W: 0.5}})
 	}
-	if cap := len(a.items.present); cap > 4*901 {
-		t.Fatalf("capacity ballooned to %d for max id 900", cap)
+	// The packed layout stores one row per distinct id — a single hot item
+	// id (900) must cost one slot, not a 901-entry dense prefix, and
+	// repeated merging must not grow the backing arrays at all.
+	if c := cap(a.items.b); c > 16 {
+		t.Fatalf("packed capacity ballooned to %d slots for 1 item", c)
+	}
+}
+
+// denseRefMarshal is a test-local dense reference serializer: it produces
+// the wire bytes the pre-sparse dense-table layout emitted, computed
+// straight from the model's definition — records ascending by id, each
+// row re-derived from the (seed, id) init function, biases zero (the
+// untrained state). The sparse implementation under test shares none of
+// this walk: it serializes via its slot permutation over packed rows.
+func denseRefMarshal(cfg Config, userIDs, itemIDs []int) []byte {
+	refRow := func(seed uint64, id int) []float32 {
+		row := make([]float32, cfg.K)
+		h := seed ^ uint64(id)*0x9E3779B97F4A7C15
+		for d := range row {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			u := float32(h>>11)/float32(1<<52) - 1
+			row[d] = u * 1.7320508 * float32(cfg.InitStd)
+		}
+		return row
+	}
+	buf := make([]byte, 0, 16+(8+4*cfg.K)*(len(userIDs)+len(itemIDs)))
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cfg.K))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(userIDs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(itemIDs)))
+	emit := func(seed uint64, ids []int) {
+		sorted := append([]int(nil), ids...)
+		sort.Ints(sorted)
+		for _, id := range sorted {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+			buf = binary.LittleEndian.AppendUint32(buf, 0) // zero bias
+			for _, x := range refRow(seed, id) {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+			}
+		}
+	}
+	emit(uint64(cfg.Seed)*2654435761+1, userIDs)
+	emit(uint64(cfg.Seed)*2654435761+2, itemIDs)
+	return buf
+}
+
+// TestSparseDenseMarshalParity is the layout-parity property test: for
+// random id sets materialized in random orders, the sparse model's wire
+// bytes must equal the dense reference layout's bytes exactly. This is
+// the contract that let the sparse tables replace the dense ones without
+// re-recording any golden trajectory.
+func TestSparseDenseMarshalParity(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(42))
+	randIDs := func(n, space int) []int {
+		seen := make(map[int]bool, n)
+		out := make([]int, 0, n)
+		for len(out) < n {
+			id := rng.Intn(space)
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 25; trial++ {
+		userIDs := randIDs(rng.Intn(40)+1, 500)
+		itemIDs := randIDs(rng.Intn(40)+1, 2000)
+		m := New(cfg)
+		// Touch users and items interleaved, in a random order unrelated
+		// to id order, so the packed slot layout is thoroughly shuffled.
+		type touch struct {
+			tab *table
+			id  int
+		}
+		var touches []touch
+		for _, id := range userIDs {
+			touches = append(touches, touch{m.users, id})
+		}
+		for _, id := range itemIDs {
+			touches = append(touches, touch{m.items, id})
+		}
+		rng.Shuffle(len(touches), func(i, j int) { touches[i], touches[j] = touches[j], touches[i] })
+		for _, tc := range touches {
+			tc.tab.vec(tc.id)
+		}
+		got, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := denseRefMarshal(cfg, userIDs, itemIDs); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: sparse marshal differs from dense reference (%d users, %d items)",
+				trial, len(userIDs), len(itemIDs))
+		}
+	}
+}
+
+// TestMarshalTouchOrderInvariance checks the trained case: a model whose
+// rows were pre-materialized in a random order before training serializes
+// byte-identically to one that materialized them lazily during training.
+// Initial embeddings are a pure function of (seed, id) and training never
+// consults layout, so only the slot permutation differs — and it must not
+// reach the wire.
+func TestMarshalTouchOrderInvariance(t *testing.T) {
+	ds := trainingData(t)
+	data := ds.Ratings[:2000]
+	direct := New(DefaultConfig())
+	direct.Train(data, 3000, rand.New(rand.NewSource(5)))
+	want, err := direct.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		m := New(DefaultConfig())
+		// Pre-touch exactly the ids the direct run materialized (training
+		// samples steps, so it touches a subset of the data's ids), in a
+		// fresh random order each trial.
+		for _, s := range rng.Perm(direct.users.count()) {
+			m.users.vec(int(direct.users.ids[s]))
+		}
+		for _, s := range rng.Perm(direct.items.count()) {
+			m.items.vec(int(direct.items.ids[s]))
+		}
+		m.Train(data, 3000, rand.New(rand.NewSource(5)))
+		got, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: pre-touched model serializes differently", trial)
+		}
+	}
+}
+
+// TestConcurrentMergeFromSharedSource models the D-PSGD broadcast: one
+// payload model is merged as a source by many receivers at once. After
+// Canonicalize (which core.Node.Share performs before publication) the
+// source must be purely read-only — without it, the lazy ordered()
+// rebuild inside mergeTables is a data race the race detector catches
+// here — and every receiver must compute byte-identical results.
+func TestConcurrentMergeFromSharedSource(t *testing.T) {
+	ds := trainingData(t)
+	src := New(DefaultConfig())
+	src.Train(ds.Ratings, 4000, rand.New(rand.NewSource(3)))
+	src.Canonicalize()
+
+	build := func() *Model {
+		m := New(DefaultConfig())
+		m.Train(ds.Ratings[:500], 2000, rand.New(rand.NewSource(4)))
+		return m
+	}
+	ref := build()
+	ref.MergeWeighted(0.5, []model.Weighted{{M: src, W: 0.5}})
+	want, err := ref.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	got := make([][]byte, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			m := build()
+			m.MergeWeighted(0.5, []model.Weighted{{M: src, W: 0.5}})
+			got[r], _ = m.Marshal()
+		}(r)
+	}
+	wg.Wait()
+	for r := range got {
+		if !bytes.Equal(got[r], want) {
+			t.Fatalf("reader %d diverged from the sequential merge", r)
+		}
 	}
 }

@@ -72,6 +72,25 @@ type AppendMarshaler interface {
 	MarshalAppend(dst []byte) ([]byte, error)
 }
 
+// Canonicalizer is an optional Model extension for implementations whose
+// order-sensitive read paths (Marshal, merging as a source) lazily build
+// internal layout — e.g. a sparse table's ascending-id slot permutation.
+// Canonicalize forces that layout fresh on the caller's goroutine, so a
+// model about to be shared with several concurrent readers mutates
+// nothing once published. It never changes observable state.
+type Canonicalizer interface {
+	Canonicalize()
+}
+
+// Copier is an optional Model extension for pooled snapshots: CopyFrom
+// overwrites the receiver so it is indistinguishable from src.Clone(),
+// reusing the receiver's backing storage. It returns false (receiver
+// unspecified-but-safe to Clone over) when src's family or shape is
+// incompatible; callers must fall back to src.Clone() in that case.
+type Copier interface {
+	CopyFrom(src Model) bool
+}
+
 // rmseBatch is the chunk size of the batched RMSE path: big enough to
 // amortize batch dispatch, small enough to keep the id/pred scratch on the
 // stack.

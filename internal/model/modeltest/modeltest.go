@@ -43,6 +43,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("MarshalRoundtrip", func(t *testing.T) { marshalRoundtrip(t, cfg) })
 	t.Run("MarshalAppendCanonical", func(t *testing.T) { marshalAppendCanonical(t, cfg) })
 	t.Run("CloneIndependent", func(t *testing.T) { cloneIndependent(t, cfg) })
+	t.Run("CopierErasesLayout", func(t *testing.T) { copierErasesLayout(t, cfg) })
 	t.Run("MergeSelfIdempotent", func(t *testing.T) { mergeSelfIdempotent(t, cfg) })
 	t.Run("RMSEClampEdges", func(t *testing.T) { rmseClampEdges(t, cfg) })
 }
@@ -193,6 +194,50 @@ func cloneIndependent(t *testing.T, cfg Config) {
 	for i := range users {
 		if got := m.Predict(users[i], items[i]); math.Float32bits(got) != math.Float32bits(before[i]) {
 			t.Fatalf("training a clone mutated the original: %v vs %v", got, before[i])
+		}
+	}
+}
+
+// copierErasesLayout: for implementations with a pooled-buffer CopyFrom
+// path, copying into a destination with its own history — different data,
+// different internal materialization order, different backing-array
+// capacities — must serialize byte-identically to the source. This is
+// what lets sparse layouts keep entity rows in touch order internally:
+// whatever layout the destination had before must be invisible on the
+// wire afterwards.
+func copierErasesLayout(t *testing.T, cfg Config) {
+	src := trained(t, cfg)
+	dst := cfg.New()
+	cp, ok := dst.(model.Copier)
+	if !ok {
+		t.Skip("model does not implement model.Copier")
+	}
+	// Give dst a distinct history: reversed data order changes which
+	// entities materialize first in a lazily-allocated implementation.
+	rev := make([]dataset.Rating, len(cfg.Data))
+	for i, r := range cfg.Data {
+		rev[len(rev)-1-i] = r
+	}
+	dst.Train(rev, cfg.TrainSteps/2+1, rand.New(rand.NewSource(23)))
+	if !cp.CopyFrom(src) {
+		t.Fatal("CopyFrom rejected a same-config source")
+	}
+	want, err := src.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("CopyFrom destination serializes differently from source")
+	}
+	users, items := pairs(cfg)
+	for i := range users {
+		a, b := src.Predict(users[i], items[i]), dst.Predict(users[i], items[i])
+		if math.Float32bits(a) != math.Float32bits(b) {
+			t.Fatalf("prediction differs after CopyFrom: %v vs %v", a, b)
 		}
 	}
 }

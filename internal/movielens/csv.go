@@ -9,37 +9,39 @@ import (
 	"rex/internal/dataset"
 )
 
-// LoadCSV reads real MovieLens ratings.csv content (header:
-// userId,movieId,rating,timestamp). User and item ids are remapped to dense
-// 0-based ids in first-appearance order. maxUsers > 0 caps the number of
-// distinct users kept, reproducing the paper's truncation of the 25M dump
-// (Table I footnote); later users' rows are skipped.
-func LoadCSV(r io.Reader, maxUsers int) (*dataset.Dataset, error) {
+// scanCSV is the streaming core of both loaders: it reads MovieLens
+// ratings.csv content (header: userId,movieId,rating,timestamp) row by
+// row, remaps user and item ids to dense 0-based ids in first-appearance
+// order, and hands each triplet to emit as it is parsed. maxUsers > 0
+// caps the number of distinct users kept, reproducing the paper's
+// truncation of the 25M dump (Table I footnote); later users' rows are
+// skipped. Memory is the two id maps plus whatever emit retains — no
+// parsed slice is accumulated here.
+func scanCSV(r io.Reader, maxUsers int, emit func(dataset.Rating)) (numUsers, numItems int, err error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	cr.FieldsPerRecord = -1
 
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("movielens: reading header: %w", err)
+		return 0, 0, fmt.Errorf("movielens: reading header: %w", err)
 	}
 	if len(header) < 3 {
-		return nil, fmt.Errorf("movielens: malformed header %q", header)
+		return 0, 0, fmt.Errorf("movielens: malformed header %q", header)
 	}
 
 	userIDs := make(map[string]uint32)
 	itemIDs := make(map[string]uint32)
-	var ratings []dataset.Rating
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("movielens: reading row: %w", err)
+			return 0, 0, fmt.Errorf("movielens: reading row: %w", err)
 		}
 		if len(rec) < 3 {
-			return nil, fmt.Errorf("movielens: short row %q", rec)
+			return 0, 0, fmt.Errorf("movielens: short row %q", rec)
 		}
 		uid, ok := userIDs[rec[0]]
 		if !ok {
@@ -56,13 +58,49 @@ func LoadCSV(r io.Reader, maxUsers int) (*dataset.Dataset, error) {
 		}
 		v, err := strconv.ParseFloat(rec[2], 32)
 		if err != nil {
-			return nil, fmt.Errorf("movielens: bad rating %q: %w", rec[2], err)
+			return 0, 0, fmt.Errorf("movielens: bad rating %q: %w", rec[2], err)
 		}
-		ratings = append(ratings, dataset.Rating{User: uid, Item: iid, Value: float32(v)})
+		emit(dataset.Rating{User: uid, Item: iid, Value: float32(v)})
 	}
-	return &dataset.Dataset{
-		Ratings:  ratings,
-		NumUsers: len(userIDs),
-		NumItems: len(itemIDs),
-	}, nil
+	return len(userIDs), len(itemIDs), nil
+}
+
+// LoadCSV reads real MovieLens ratings.csv content into a flat Dataset
+// (rows in file order). See scanCSV for the id remapping and maxUsers
+// truncation semantics.
+func LoadCSV(r io.Reader, maxUsers int) (*dataset.Dataset, error) {
+	var ratings []dataset.Rating
+	nu, ni, err := scanCSV(r, maxUsers, func(rt dataset.Rating) {
+		ratings = append(ratings, rt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.Dataset{Ratings: ratings, NumUsers: nu, NumItems: ni}, nil
+}
+
+// LoadCSVPartitioned reads ratings.csv and partitions the ratings to
+// nodes (node i = dense user id i, the paper's one-node-one-user layout)
+// in the same single pass that parses them, so the full flat slice of
+// LoadCSV + Dataset.PartitionPerUser is never materialized. At large n
+// that halves dataset-prep memory: the only O(ratings) state is the
+// partitions themselves, which the caller needs anyway. Each node's
+// ratings keep file order; the result is element-wise identical to
+// LoadCSV followed by PartitionPerUser.
+func LoadCSVPartitioned(r io.Reader, maxUsers int) (parts [][]dataset.Rating, numUsers, numItems int, err error) {
+	numUsers, numItems, err = scanCSV(r, maxUsers, func(rt dataset.Rating) {
+		for int(rt.User) >= len(parts) {
+			parts = append(parts, nil)
+		}
+		parts[rt.User] = append(parts[rt.User], rt)
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	// Users are dense first-appearance ids, so every id below numUsers has
+	// a slot already; this is just the empty-file case.
+	for len(parts) < numUsers {
+		parts = append(parts, nil)
+	}
+	return parts, numUsers, numItems, nil
 }

@@ -1,7 +1,9 @@
 package movielens
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -177,5 +179,51 @@ func TestLoadCSVErrors(t *testing.T) {
 	}
 	if _, err := LoadCSV(strings.NewReader("userId,movieId,rating\n1,2,notanumber\n"), 0); err == nil {
 		t.Fatal("bad rating accepted")
+	}
+}
+
+// TestLoadCSVPartitionedConformance checks the one-pass partitioned
+// loader against the two-pass reference (LoadCSV + PartitionPerUser) on
+// an interleaved multi-user file, with and without the user cap.
+func TestLoadCSVPartitionedConformance(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("userId,movieId,rating,timestamp\n")
+	// Users appear interleaved and out of order, sharing items, so the
+	// dense remap and per-node grouping both do real work.
+	rng := rand.New(rand.NewSource(31))
+	users := []string{"42", "7", "100", "7", "42", "9", "100", "42", "9", "7", "55", "55"}
+	for i, u := range users {
+		fmt.Fprintf(&sb, "%s,%d,%.1f,0\n", u, 10+rng.Intn(6), float64(rng.Intn(9)+2)/2)
+		_ = i
+	}
+	csvText := sb.String()
+
+	for _, cap := range []int{0, 2} {
+		ds, err := LoadCSV(strings.NewReader(csvText), cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ds.PartitionPerUser()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, nu, ni, err := LoadCSVPartitioned(strings.NewReader(csvText), cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nu != ds.NumUsers || ni != ds.NumItems || len(parts) != len(want) {
+			t.Fatalf("cap=%d: got %d users %d items %d parts, want %d/%d/%d",
+				cap, nu, ni, len(parts), ds.NumUsers, ds.NumItems, len(want))
+		}
+		for node := range want {
+			if len(parts[node]) != len(want[node]) {
+				t.Fatalf("cap=%d node %d: %d ratings, want %d", cap, node, len(parts[node]), len(want[node]))
+			}
+			for k := range want[node] {
+				if parts[node][k] != want[node][k] {
+					t.Fatalf("cap=%d node %d rating %d: %+v, want %+v", cap, node, k, parts[node][k], want[node][k])
+				}
+			}
+		}
 	}
 }

@@ -113,11 +113,22 @@ type Param struct {
 }
 
 func newParam(name string, n int) *Param {
-	return &Param{Name: name, W: make([]float32, n), G: make([]float32, n)}
+	// G is allocated lazily by ZeroGrad: a replica that only serves,
+	// merges, or marshals never pays gradient memory, which at embedding
+	// scale would double the model's footprint.
+	return &Param{Name: name, W: make([]float32, n)}
 }
 
-// ZeroGrad clears the accumulated gradient.
-func (p *Param) ZeroGrad() { vec.Zero(p.G) }
+// ZeroGrad clears the accumulated gradient, materializing it on first use.
+// Training calls it on every param before each backward pass, so gradient
+// consumers always see an allocated, zeroed G.
+func (p *Param) ZeroGrad() {
+	if p.G == nil {
+		p.G = make([]float32, len(p.W))
+		return
+	}
+	vec.Zero(p.G)
+}
 
 // initNormal fills w with N(0, std) values.
 func initNormal(w []float32, std float64, rng *rand.Rand) {

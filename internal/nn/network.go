@@ -244,6 +244,29 @@ func (n *Net) Clone() model.Model {
 	return c
 }
 
+// CopyFrom implements model.Copier: it overwrites n with src's parameters
+// in place, leaving n indistinguishable from src.Clone() — weights copied,
+// optimizer state cleared, dropout rng rewound to the seed — while reusing
+// n's tensors. Share paths rotate pooled payload nets through this instead
+// of allocating a full Clone per epoch.
+func (n *Net) CopyFrom(src model.Model) bool {
+	o, ok := src.(*Net)
+	if !ok || len(o.params) != len(n.params) {
+		return false
+	}
+	for i, p := range o.params {
+		if len(p.W) != len(n.params[i].W) {
+			return false
+		}
+	}
+	for i, p := range o.params {
+		copy(n.params[i].W, p.W)
+	}
+	n.opt.Reset()
+	n.rng.Seed(n.cfg.Seed)
+	return true
+}
+
 const netMagic = uint32(0x5245584e) // "REXN"
 
 // Marshal implements model.Model: magic, param tensor count, then each

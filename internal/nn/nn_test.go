@@ -241,6 +241,7 @@ func TestEmbeddingLookupAndAccumulate(t *testing.T) {
 func TestAdamStepMovesParams(t *testing.T) {
 	a := NewAdam(0.1, 0)
 	p := newParam("p", 3)
+	p.ZeroGrad() // gradients materialize lazily
 	p.W[0] = 1
 	p.G[0] = 1 // positive gradient: value must decrease
 	a.Step([]*Param{p})

@@ -79,6 +79,17 @@ const gapResyncThreshold = 3
 // two resets arriving out of order impossible.
 const resetRetryFrames = 2
 
+// deltaDictCap bounds the per-edge dictionary: once a data frame's worst
+// case (every point explicit) would push the explicit-entry count past
+// this, the frame is sent as a self-contained stream reset instead,
+// restarting the dictionary. This is what keeps per-edge delta state —
+// the sender's lastSent map and the receiver's dict/prevDict windows —
+// O(cap) on arbitrarily long runs with churning samples, instead of
+// growing with stream lifetime. The cap must comfortably exceed one
+// frame's sample size; below that every frame degenerates to a (correct
+// but uncompressed) reset.
+const deltaDictCap = 4096
+
 // deflateModelThreshold is the model-section size above which delta
 // frames try DEFLATE on the marshaled parameters. Raw-data payloads never
 // go through flate: their columnar packing is tighter and deterministic
@@ -122,6 +133,9 @@ type deltaTx struct {
 	// dictLen counts explicit entries emitted since the stream (re)start;
 	// the next explicit entry gets this dictionary index.
 	dictLen uint32
+	// dictCap rolls the stream over (full-frame reset) before dictLen can
+	// exceed it; deltaDictCap by default, 0 disables the cap.
+	dictCap uint32
 	// pendingReset makes the next frame a stream reset (resync request
 	// received, or first frame after a daemon resume).
 	pendingReset bool
@@ -452,7 +466,7 @@ func (r *runner) initDelta(resume bool) {
 		// is deliberately not snapshotted), so its first frame to every
 		// peer is a reset; the peers' stale view of this node's stream
 		// heals through the resync protocol.
-		r.tx[nb] = &deltaTx{lastSent: make(map[uint64]txEntry), pendingReset: resume}
+		r.tx[nb] = &deltaTx{lastSent: make(map[uint64]txEntry), pendingReset: resume, dictCap: deltaDictCap}
 		r.rx[nb] = &deltaRx{}
 	}
 }
@@ -474,6 +488,12 @@ func (r *runner) encodeDeltaBody(dst []byte, nb int, p core.Payload) ([]byte, de
 	tx, rx := r.tx[nb], r.rx[nb]
 	tx.seqOut++
 	var st deltaSendStats
+	// Dictionary overflow check against the worst case (every point
+	// explicit): conservative, so a ref-heavy steady state whose dictLen
+	// has stopped growing never resets spuriously.
+	if p.Data != nil && tx.dictCap > 0 && tx.dictLen+uint32(len(p.Data)) > tx.dictCap {
+		tx.pendingReset = true
+	}
 	var flags byte
 	if tx.pendingReset {
 		flags |= deltaFlagReset

@@ -336,6 +336,52 @@ func TestDeltaRejectWithoutMutation(t *testing.T) {
 	}
 }
 
+// TestDeltaDictCapReset drives a stream into its dictionary cap and
+// checks the overflow path end to end: the overflowing frame goes out as
+// a full (reset) frame, both sides' dictionaries restart bounded, and
+// back-references work again against the rebased window.
+func TestDeltaDictCapReset(t *testing.T) {
+	a, b := newDeltaPair()
+	a.tx[1].dictCap = 20
+	sendAndAck := func(s []dataset.Rating) deltaSendStats {
+		t.Helper()
+		got, st := ship(t, a, b, 0, 1, core.Payload{From: 0, Degree: 1, Data: s})
+		sameMultiset(t, got.Data, s)
+		ship(t, b, a, 1, 0, core.Payload{From: 1, Degree: 1}) // carry the ack back
+		return st
+	}
+
+	// Two fresh samples fill the dictionary to 16 of 20 entries.
+	sendAndAck(sampleRatings(8, 21))
+	if st := sendAndAck(sampleRatings(8, 22)); st.resync || st.explicit != 8 {
+		t.Fatalf("under cap: resync=%v explicit=%d", st.resync, st.explicit)
+	}
+	if a.tx[1].dictLen != 16 {
+		t.Fatalf("dictLen = %d, want 16", a.tx[1].dictLen)
+	}
+
+	// A third fresh sample would overflow: the frame must roll the stream
+	// over instead of growing past the cap.
+	s3 := sampleRatings(8, 23)
+	st := sendAndAck(s3)
+	if !st.resync || st.explicit != 8 || st.refs != 0 {
+		t.Fatalf("overflow frame: resync=%v explicit=%d refs=%d", st.resync, st.explicit, st.refs)
+	}
+	if a.tx[1].dictLen != 8 || len(a.tx[1].lastSent) != 8 {
+		t.Fatalf("sender dict not restarted: dictLen=%d lastSent=%d", a.tx[1].dictLen, len(a.tx[1].lastSent))
+	}
+	rx := b.rx[0]
+	if rx.base != 3 || rx.watermark != 3 || len(rx.dict) != 8 {
+		t.Fatalf("receiver not rebased: base=%d watermark=%d dict=%d", rx.base, rx.watermark, len(rx.dict))
+	}
+
+	// The acked reset is a normal stream start: a resend back-references
+	// the rebased dictionary without another reset.
+	if st := sendAndAck(s3); st.resync || st.refs != 8 || st.explicit != 0 {
+		t.Fatalf("post-cap resend: resync=%v explicit=%d refs=%d", st.resync, st.explicit, st.refs)
+	}
+}
+
 // TestRequestResetSuppression pins the one-reset-in-flight window.
 func TestRequestResetSuppression(t *testing.T) {
 	tx := &deltaTx{lastResetSeq: 5, ackedSeq: 4, seqOut: 5}

@@ -216,6 +216,14 @@ type runner struct {
 	sealScratch           map[int][]byte
 	// openScratch holds one plaintext buffer per gather worker slot.
 	openScratch [][]byte
+	// Gather-path scratch, reused across rounds: the still-expected peer
+	// set, the opened-frame and payload collection buffers, and a copy of
+	// the neighbor list for the timeout sweep (notePeerMiss mutates
+	// r.neighbors mid-iteration).
+	gatherNeed  map[int]bool
+	openedBuf   []openResult
+	gatherPl    []core.Payload
+	timeoutScan []int
 
 	// Delta wire state (Config.Wire == WireDelta): per-peer send/receive
 	// stream halves, a per-peer body scratch, the epoch's payload held
@@ -298,7 +306,12 @@ type openResult struct {
 // of arrival or open order — the invariant that keeps learning
 // trajectories deterministic for a fixed seed.
 func (r *runner) gatherRound(e int) ([]core.Payload, error) {
-	need := make(map[int]bool, len(r.neighbors))
+	need := r.gatherNeed
+	if need == nil {
+		need = make(map[int]bool, len(r.neighbors))
+		r.gatherNeed = need
+	}
+	clear(need)
 	for _, nb := range r.neighbors {
 		if r.absentAt(nb, e-1) {
 			continue // oracle churn: nb did not run the sending epoch
@@ -319,7 +332,7 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 		r.openScratch = append(r.openScratch, nil)
 	}
 
-	opened := make([]openResult, 0, len(need))
+	opened := r.openedBuf[:0]
 	inflight := 0
 	var jobs chan openJob
 	var outs chan openResult
@@ -400,7 +413,8 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 			// a peer whose consecutive misses exhaust PeerGrace is
 			// declared dead. The round proceeds without the missing
 			// frames either way.
-			for _, nb := range append([]int(nil), r.neighbors...) {
+			r.timeoutScan = append(r.timeoutScan[:0], r.neighbors...)
+			for _, nb := range r.timeoutScan {
 				if need[nb] {
 					r.notePeerMiss(nb)
 					delete(need, nb)
@@ -434,8 +448,9 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 		opened = append(opened, <-outs)
 	}
 
+	r.openedBuf = opened
 	sort.Slice(opened, func(i, j int) bool { return opened[i].from < opened[j].from })
-	payloads := make([]core.Payload, 0, len(opened))
+	payloads := r.gatherPl[:0]
 	for _, o := range opened {
 		if o.err != nil {
 			if errors.Is(o.err, seccha.ErrReplay) || errors.Is(o.err, errDeltaDiscard) {
@@ -454,6 +469,9 @@ func (r *runner) gatherRound(e int) ([]core.Payload, error) {
 		r.stats.Open += o.dur
 		payloads = append(payloads, o.pl)
 	}
+	// The returned slice is valid until the next gatherRound: Engine.Step
+	// merges it before the next round starts, so reuse is safe.
+	r.gatherPl = payloads
 	return payloads, nil
 }
 

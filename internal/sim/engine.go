@@ -35,10 +35,15 @@ type engine struct {
 	deferred [][]message
 
 	// Per-epoch scratch, reused across epochs. results[i] is written only
-	// by the worker stepping node i; rmse/rmseOK likewise.
-	results []nodeResult
-	rmse    []float64
-	rmseOK  []bool
+	// by the worker stepping node i; rmse/rmseOK, payloadBuf and targetBuf
+	// likewise. payloadBuf pools the merge-input views and targetBuf the
+	// gossip target lists, so the steady-state epoch loop allocates nothing
+	// per node once the buffers reach their working capacity.
+	results    []nodeResult
+	rmse       []float64
+	rmseOK     []bool
+	payloadBuf [][]core.Payload
+	targetBuf  [][]int
 
 	pool     *pool
 	res      *Result
@@ -122,6 +127,8 @@ func newEngine(cfg Config, n int) *engine {
 		results:    make([]nodeResult, n),
 		rmse:       make([]float64, n),
 		rmseOK:     make([]bool, n),
+		payloadBuf: make([][]core.Payload, n),
+		targetBuf:  make([][]int, n),
 		res:        &Result{Series: make([]EpochStats, 0, cfg.Epochs)},
 	}
 	meas := attest.MeasureCode([]byte("rex-enclave-v1"))

@@ -18,7 +18,7 @@ import (
 func (eng *engine) runEpoch(e int) {
 	cfg := &eng.cfg
 	n := eng.n
-	graph := cfg.Graph
+	var graph topology.Source = cfg.Graph
 	if cfg.Topology != nil {
 		if g := cfg.Topology(e); g != nil && g.N() == n {
 			graph = g
@@ -57,7 +57,7 @@ func (eng *engine) runEpoch(e int) {
 	// inboxes. A worker writes only results[i] and node-i state; payload
 	// models/data from other nodes are read-only here.
 	eng.pool.run(n, func(i int) {
-		eng.results[i] = eng.stepNode(e, graph, i)
+		eng.stepNode(e, graph, i, &eng.results[i])
 	})
 
 	// --- epoch barrier: deliver staged messages and fold accounting, both
@@ -88,10 +88,8 @@ func (eng *engine) runEpoch(e int) {
 				eng.inbox[d.to] = append(eng.inbox[d.to], d.msg)
 			}
 		}
-		r.out = nil
 		if len(r.events) > 0 {
 			eng.res.FaultLog = append(eng.res.FaultLog, r.events...)
-			r.events = nil
 		}
 	}
 
@@ -139,16 +137,25 @@ func (eng *engine) runEpoch(e int) {
 	stat.Stage = epochStage.scale(1 / perAlive)
 	eng.stageSum = eng.stageSum.add(stat.Stage)
 	eng.res.Series = append(eng.res.Series, stat)
+	if cfg.AfterEpoch != nil {
+		cfg.AfterEpoch(e)
+	}
 }
 
 // stepNode runs node i's merge-train-share-test round for epoch e. It
 // mutates only node-i state (nodes[i], encl[i], clocks[i], cumBytes[i],
-// inbox[i], peakHeap[i]) and returns the staged deliveries plus this
-// node's epoch accounting, so concurrent steps never race.
-func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
+// inbox[i], peakHeap[i], the node's pooled scratch) and writes the staged
+// deliveries plus this node's epoch accounting into r (reusing r's slices
+// from the previous epoch), so concurrent steps never race and the
+// steady-state epoch loop stops allocating per-node result storage.
+func (eng *engine) stepNode(e int, graph topology.Source, i int, r *nodeResult) {
+	r.stage = StageTimes{}
+	r.bytes = 0
+	r.out = r.out[:0]
+	r.events = r.events[:0]
 	if !eng.alive[i] {
-		eng.inbox[i] = nil // a dead node consumes nothing
-		return nodeResult{}
+		eng.inbox[i] = eng.inbox[i][:0] // a dead node consumes nothing
+		return
 	}
 	cfg := &eng.cfg
 	cp := cfg.Compute
@@ -165,7 +172,10 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	start := eng.clocks[i]
 	if e > 0 {
 		inputs = eng.inbox[i]
-		eng.inbox[i] = nil
+		// Recycle the inbox in place: the barrier appends next epoch's
+		// deliveries into the same backing array after this parallel
+		// section ends, and `inputs` is only read before then.
+		eng.inbox[i] = inputs[:0]
 		for _, m := range inputs {
 			if m.arrival > start {
 				start = m.arrival
@@ -174,12 +184,13 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	}
 
 	// --- merge (Alg. 2 lines 15-16) ---
-	payloads := make([]core.Payload, len(inputs))
+	payloads := eng.payloadBuf[i][:0]
 	inBytes := 0
-	for k, m := range inputs {
-		payloads[k] = m.payload
+	for _, m := range inputs {
+		payloads = append(payloads, m.payload)
 		inBytes += m.bytes
 	}
+	eng.payloadBuf[i] = payloads
 	st := node.Merge(payloads, deg)
 	var mergeFlops float64
 	// Cost model for faulted-away traffic: when a message this node
@@ -221,24 +232,32 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 	// The payload goes to the scheme's targets (one random neighbor under
 	// RMW, everyone under D-PSGD); all remaining neighbors receive an
 	// empty notification that keeps the barrier advancing.
-	var out []delivery
-	var events []faultnet.Event
 	neighbors := graph.Neighbors(i)
-	payloadTo := gossip.Targets(cfg.Algo, graph, i, node.RNG())
-	isPayload := make(map[int]bool, len(payloadTo))
-	for _, t := range payloadTo {
-		isPayload[t] = true
+	payloadTo := gossip.TargetsAppend(eng.targetBuf[i][:0], cfg.Algo, graph, i, node.RNG())
+	eng.targetBuf[i] = payloadTo
+	// Payload targets are 1 (RMW) or deg (D-PSGD) entries: a linear scan
+	// beats the per-epoch map the previous implementation allocated here.
+	isPayload := func(t int) bool {
+		for _, p := range payloadTo {
+			if p == t {
+				return true
+			}
+		}
+		return false
 	}
 	var shareT float64
 	var outBytes int
 	if len(neighbors) > 0 {
-		payload := node.Share(deg, cfg.Mode == core.ModelSharing)
+		// retained=true: the payload is read by receivers at the next one
+		// or two epoch barriers, so both modes draw from the node's pooled
+		// depth-3 share rotation instead of allocating per epoch.
+		payload := node.Share(deg, true)
 		empty := core.Payload{From: i, Degree: deg}
 		wire := core.PayloadWireSize(payload)
 		emptyWire := core.PayloadWireSize(empty)
 		for _, t := range neighbors {
 			w := emptyWire
-			if isPayload[t] {
+			if isPayload(t) {
 				w = wire
 			}
 			shareT += float64(w) * cp.SerializeSecPerByte * enc.MemFactor()
@@ -255,13 +274,12 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 			sendDone = start + mergeT + shareT
 		}
 		sc := cfg.Scenario
-		out = make([]delivery, 0, len(neighbors))
 		for _, t := range neighbors {
 			if !eng.alive[t] {
 				continue // oracle: no traffic to crashed peers
 			}
 			pl, w := empty, emptyWire
-			if isPayload[t] {
+			if isPayload(t) {
 				pl, w = payload, wire
 			}
 			msg := message{
@@ -270,7 +288,7 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 				bytes:   w,
 			}
 			if sc == nil {
-				out = append(out, delivery{to: t, msg: msg})
+				r.out = append(r.out, delivery{to: t, msg: msg})
 				continue
 			}
 			// Wire faults, in the same order the live wrapper applies
@@ -279,25 +297,25 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 			// order at the barrier, keeping the log deterministic for any
 			// Workers count.
 			if sc.Partitioned(i, t, e) {
-				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindPartition})
+				r.events = append(r.events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindPartition})
 				continue
 			}
 			if sc.DropAt(i, t, e) {
-				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDrop})
+				r.events = append(r.events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDrop})
 				continue
 			}
 			if d, ok := sc.DelayAt(i, t, e); ok {
-				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDelay})
+				r.events = append(r.events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDelay})
 				msg.arrival += d.Seconds()
 			}
 			deferred := sc.ReorderAt(i, t, e)
 			if deferred {
-				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindReorder})
+				r.events = append(r.events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindReorder})
 			}
-			out = append(out, delivery{to: t, msg: msg, deferred: deferred})
+			r.out = append(r.out, delivery{to: t, msg: msg, deferred: deferred})
 			if sc.DuplicateAt(i, t, e) {
-				events = append(events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDuplicate})
-				out = append(out, delivery{to: t, msg: msg, deferred: deferred})
+				r.events = append(r.events, faultnet.Event{Epoch: e, From: i, To: t, Kind: faultnet.KindDuplicate})
+				r.out = append(r.out, delivery{to: t, msg: msg, deferred: deferred})
 			}
 		}
 	}
@@ -333,10 +351,6 @@ func (eng *engine) stepNode(e int, graph *topology.Graph, i int) nodeResult {
 		eng.peakHeap[i] = heap
 	}
 
-	return nodeResult{
-		stage:  StageTimes{mergeT, trainT, shareT, testT},
-		bytes:  float64(inBytes + outBytes),
-		out:    out,
-		events: events,
-	}
+	r.stage = StageTimes{mergeT, trainT, shareT, testT}
+	r.bytes = float64(inBytes + outBytes)
 }

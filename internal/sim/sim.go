@@ -14,7 +14,11 @@ import (
 
 // Config describes one simulated run.
 type Config struct {
-	Graph *topology.Graph
+	// Graph is the communication topology — a materialized *topology.Graph
+	// or a streamed form (topology.SmallWorldStream, topology.ERStream)
+	// that derives neighbor lists on demand, which is what makes 100k+
+	// node runs affordable.
+	Graph topology.Source
 	// Topology, when set, supplies the communication graph for each epoch
 	// (same node count as Graph), enabling dynamic overlays such as a
 	// peer-sampling service re-sampled between rounds. The Algorithm 2
@@ -99,6 +103,12 @@ type Config struct {
 	// skipped epochs report NaN in the series but still charge test time
 	// only when evaluated.
 	TestEvery int
+
+	// AfterEpoch, when set, is called on the driver goroutine after each
+	// epoch's barrier with the epoch index — an observability hook (e.g.
+	// host-heap measurement while the engine is resident). It must not
+	// mutate simulation state; it has no effect on results.
+	AfterEpoch func(epoch int)
 
 	Seed int64
 }

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"rex/internal/core"
+	"rex/internal/gossip"
+	"rex/internal/mf"
+	"rex/internal/model"
+	"rex/internal/topology"
+)
+
+// TestStreamedTopologyMatchesMaterialized is the swap-in guarantee of the
+// streaming topology path: a run whose Config.Graph is a streamed source
+// must be byte-for-byte identical to the same run over the materialized
+// form of that source. This covers both gossip schemes — D-PSGD walks the
+// full neighbor list, RMW draws through topology.RandomNeighborOf — so any
+// divergence in neighbor order, degree, or rng consumption would surface.
+func TestStreamedTopologyMatchesMaterialized(t *testing.T) {
+	const n = 16
+	for _, algo := range []gossip.Algo{gossip.DPSGD, gossip.RMW} {
+		t.Run(fmt.Sprint(algo), func(t *testing.T) {
+			run := func(src topology.Source) *Result {
+				t.Helper()
+				train, test := buildSmall(t, n, 7)
+				mcfg := mf.DefaultConfig()
+				res, err := Run(Config{
+					Graph: src,
+					Algo:  algo, Mode: core.DataSharing,
+					Epochs: 12, StepsPerEpoch: 100, SharePoints: 50,
+					FailAt:   map[int]int{2: 5},
+					NewModel: func(id int) model.Model { return mf.New(mcfg) },
+					Train:    train, Test: test,
+					Compute: MFCompute(mcfg.K),
+					Seed:    99,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a := run(topology.NewSmallWorldStream(n, 4, 0.2, 77))
+			b := run(topology.Materialize(topology.NewSmallWorldStream(n, 4, 0.2, 77)))
+			requireIdentical(t, a, b)
+		})
+	}
+}

@@ -12,12 +12,39 @@ import (
 	"sort"
 )
 
+// Source is the minimal read-only neighbor view the gossip and simulation
+// layers need. *Graph implements it with materialized adjacency; the
+// streamed generators (SmallWorldStream, ERStream) implement it by
+// deriving neighbor lists on demand from (seed, node id), so topology
+// memory is O(degree) per node actually touched instead of O(n·degree) up
+// front. Neighbors results must be sorted ascending, stable for the
+// lifetime of the value, and treated as read-only by callers.
+type Source interface {
+	N() int
+	Degree(i int) int
+	Neighbors(i int) []int
+}
+
+// RandomNeighborOf picks a uniform random neighbor of node i from any
+// Source, consuming exactly one rng draw when the node has neighbors and
+// none otherwise — the same stream contract as Graph.RandomNeighbor, so
+// materialized and streamed topologies yield bit-identical RMW schedules.
+func RandomNeighborOf(s Source, i int, rng *rand.Rand) int {
+	nb := s.Neighbors(i)
+	if len(nb) == 0 {
+		return -1
+	}
+	return nb[rng.Intn(len(nb))]
+}
+
 // Graph is a simple undirected graph over nodes 0..N-1 with sorted
 // adjacency lists and no self-loops or parallel edges.
 type Graph struct {
 	n   int
 	adj [][]int
 }
+
+var _ Source = (*Graph)(nil)
 
 // NewGraph returns an empty graph on n nodes.
 func NewGraph(n int) *Graph {

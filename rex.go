@@ -128,6 +128,19 @@ func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 // deployment, §IV-C).
 func FullyConnected(n int) *Graph { return topology.FullyConnected(n) }
 
+// Topology is the read-only neighbor view the simulator consumes: either a
+// materialized *Graph or a streamed generator such as SmallWorldStream,
+// which derives neighbor lists on demand and makes 100k+ node simulations
+// affordable in memory.
+type Topology = topology.Source
+
+// SmallWorldStream builds the streamed small-world topology: the same ring
+// plus far-fetched shortcuts as SmallWorld, but derived lazily from seed
+// with O(degree) memory per node touched.
+func SmallWorldStream(n, k int, pFar float64, seed uint64) Topology {
+	return topology.NewSmallWorldStream(n, k, pFar, seed)
+}
+
 // Mode selects the sharing scheme: DataSharing is REX, ModelSharing the
 // classical decentralized-learning baseline.
 type Mode = core.Mode
