@@ -41,6 +41,20 @@
 // by more than the baseline's tolerance. Live heap per user is a property
 // of the data structures, not the machine, so unlike wall-clock it gates
 // cleanly across CI runners.
+//
+// A fourth mode gates load-workload reports structurally:
+//
+//	go run ./cmd/rexbench -load zipf-burst -load-out load_meas.json
+//	go run ./cmd/benchgate -load load_meas.json
+//
+// checks that the report is complete and self-consistent — events were
+// dispatched, both endpoints saw traffic, every latency summary has
+// positive, monotone percentiles (p50 ≤ p95 ≤ p99 ≤ ...), the server-side
+// scrape is present with sane counts, the non-2xx fraction stays under
+// -loaderr, and the pipeline stage histograms are populated. No absolute
+// latency is gated (wall-clock varies per runner); the gate catches the
+// failure modes this repo controls: a broken /metrics scrape, a schedule
+// that generated nothing, or handlers rejecting valid traffic.
 package main
 
 import (
@@ -164,6 +178,132 @@ func readScale(path string) (*scaleReport, error) {
 	return &r, nil
 }
 
+// loadSummary / loadEndpoint / loadReport mirror the BENCH_load.json
+// schema (internal/loadgen.Report), decoded structurally so the gate
+// binary stays decoupled from the loadgen package's evolution. JSON
+// numeric map keys arrive as strings, hence Statuses map[string]uint64.
+type loadSummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+type loadEndpoint struct {
+	loadSummary
+	Statuses map[string]uint64 `json:"statuses"`
+}
+
+type loadReport struct {
+	Mode           string                  `json:"mode"`
+	Events         uint64                  `json:"events"`
+	EventsPerSec   float64                 `json:"events_per_sec"`
+	ScheduleDigest string                  `json:"schedule_digest"`
+	Client         map[string]loadEndpoint `json:"client"`
+	Server         map[string]loadEndpoint `json:"server"`
+	Stages         map[string]loadSummary  `json:"stages"`
+}
+
+// checkSummary verifies one latency summary is populated and internally
+// consistent: a positive count, positive percentiles, and monotone
+// quantiles. Returns a problem description or "".
+func checkSummary(s loadSummary) string {
+	if s.Count == 0 {
+		return "empty (count 0)"
+	}
+	if !(s.P50Ms > 0) || !(s.MeanMs > 0) {
+		return fmt.Sprintf("non-positive latency (p50=%v mean=%v)", s.P50Ms, s.MeanMs)
+	}
+	if s.P50Ms > s.P95Ms || s.P95Ms > s.P99Ms {
+		return fmt.Sprintf("percentiles not monotone (%v / %v / %v)", s.P50Ms, s.P95Ms, s.P99Ms)
+	}
+	return ""
+}
+
+// loadGate fails when a BENCH_load.json report is incomplete or
+// self-inconsistent. It is structural on purpose: absolute latency
+// depends on the runner, but "the run produced events, both endpoints
+// answered, /metrics was scraped, and the histograms are sane" does not.
+func loadGate(path string, maxErrFrac float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+
+	failed := false
+	check := func(what, problem string) {
+		verdict := "ok"
+		if problem != "" {
+			verdict = "FAIL: " + problem
+			failed = true
+		}
+		fmt.Printf("%-28s %s\n", what, verdict)
+	}
+
+	eventsProblem := ""
+	if rep.Events == 0 || rep.EventsPerSec <= 0 {
+		eventsProblem = fmt.Sprintf("events=%d rate=%.0f/s", rep.Events, rep.EventsPerSec)
+	}
+	check("events dispatched", eventsProblem)
+	digestProblem := ""
+	if len(rep.ScheduleDigest) != 16 || rep.ScheduleDigest == "0000000000000000" {
+		digestProblem = fmt.Sprintf("%q", rep.ScheduleDigest)
+	}
+	check("schedule digest", digestProblem)
+
+	var total, errs uint64
+	for _, ep := range []string{"rate", "recommend"} {
+		cl, ok := rep.Client[ep]
+		if !ok {
+			check("client "+ep, "missing from report")
+			continue
+		}
+		check("client "+ep, checkSummary(cl.loadSummary))
+		for code, n := range cl.Statuses {
+			total += n
+			if len(code) != 3 || code[0] != '2' {
+				errs += n
+			}
+		}
+		sv, ok := rep.Server[ep]
+		if !ok {
+			check("server "+ep, "missing: /metrics scrape absent")
+			continue
+		}
+		check("server "+ep, checkSummary(sv.loadSummary))
+		if sv.Count > cl.Count {
+			check("server "+ep+" count", fmt.Sprintf("server saw %d > client sent %d", sv.Count, cl.Count))
+		}
+	}
+	if total > 0 {
+		frac := float64(errs) / float64(total)
+		problem := ""
+		if frac > maxErrFrac {
+			problem = fmt.Sprintf("%.1f%% non-2xx responses (max %.1f%%)", frac*100, maxErrFrac*100)
+		}
+		check("error fraction", problem)
+	}
+
+	if len(rep.Stages) == 0 {
+		check("pipeline stages", "missing: no stage histograms in report")
+	} else {
+		for _, name := range []string{"train", "merge"} {
+			st, ok := rep.Stages[name]
+			if !ok {
+				check("stage "+name, "missing")
+				continue
+			}
+			check("stage "+name, checkSummary(st))
+		}
+	}
+	return failed
+}
+
 // scaleGate fails when a fresh measurement's bytes-per-user exceeds the
 // committed baseline by more than the baseline's tolerance at any size
 // present in both files. Sizes only one side measured are reported but
@@ -218,7 +358,16 @@ func main() {
 	wireFloor := flag.Float64("wirefloor", 3.0, "minimum fullwire/delta wireB/epoch ratio")
 	scalePath := flag.String("scale", "", "fresh rexbench -scale-out JSON; gates bytes-per-user against -scalebase")
 	scaleBase := flag.String("scalebase", "BENCH_scale.json", "committed scale baseline JSON")
+	loadPath := flag.String("load", "", "rexbench -load-out JSON (BENCH_load.json schema); gates the report's structural completeness")
+	loadErr := flag.Float64("loaderr", 0.01, "maximum non-2xx response fraction for -load")
 	flag.Parse()
+	if *loadPath != "" {
+		if loadGate(*loadPath, *loadErr) {
+			fmt.Fprintln(os.Stderr, "benchgate: load report incomplete or inconsistent")
+			os.Exit(1)
+		}
+		return
+	}
 	if *scalePath != "" {
 		if scaleGate(*scalePath, *scaleBase) {
 			fmt.Fprintln(os.Stderr, "benchgate: scale bytes-per-user regressed above the recorded baseline")

@@ -17,6 +17,7 @@ import (
 
 	"rex/internal/experiments"
 	"rex/internal/faultnet"
+	"rex/internal/loadgen"
 )
 
 func main() {
@@ -32,8 +33,40 @@ func main() {
 		scaleUsers = flag.String("scale-users", "1000,10000,50000,100000", "comma-separated node counts for -scale")
 		scaleEp    = flag.Int("scale-epochs", 3, "epochs per size for -scale")
 		scaleOut   = flag.String("scale-out", "", "write the -scale report as JSON (BENCH_scale.json schema) to this path")
+		load       = flag.String("load", "", "run a declarative load workload instead of a paper artifact: a canned spec name (steady, zipf-burst, flashcrowd) or a JSON spec file")
+		loadTarget = flag.String("load-target", "", "comma-separated rexd base URLs for live replay (e.g. http://127.0.0.1:8800,http://127.0.0.1:8801); empty = in-process sim cluster")
+		loadNodes  = flag.Int("load-nodes", 2, "sim-mode cluster size for -load")
+		loadWork   = flag.Int("load-workers", 4, "dispatch concurrency for -load")
+		loadOut    = flag.String("load-out", "", "write the -load report as JSON (BENCH_load.json schema) to this path")
 	)
 	flag.Parse()
+
+	if *load != "" {
+		spec, err := loadgen.Resolve(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: %v\n", err)
+			os.Exit(2)
+		}
+		var urls []string
+		if *loadTarget != "" {
+			urls = strings.Split(*loadTarget, ",")
+		}
+		rep, err := experiments.RunLoad(experiments.LoadConfig{
+			Spec: spec, TargetURLs: urls, Nodes: *loadNodes, Workers: *loadWork, Out: os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexbench: load: %v\n", err)
+			os.Exit(1)
+		}
+		if *loadOut != "" {
+			if err := experiments.WriteLoadReport(rep, *loadOut); err != nil {
+				fmt.Fprintf(os.Stderr, "rexbench: load: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("### load report written to %s\n", *loadOut)
+		}
+		return
+	}
 
 	if *scale {
 		var sizes []int

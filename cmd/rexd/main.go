@@ -49,6 +49,7 @@ import (
 	"rex/internal/core"
 	"rex/internal/dataset"
 	"rex/internal/gossip"
+	"rex/internal/metrics"
 	"rex/internal/mf"
 	"rex/internal/model"
 	"rex/internal/movielens"
@@ -214,6 +215,13 @@ func run(o daemonOpts) error {
 	}
 	defer ep.Close()
 
+	// Stage histograms for /metrics: OnEpoch runs on the protocol thread
+	// right after each Step — the one place Stats may be read — so the
+	// per-epoch stage durations are the deltas of the cumulative counters
+	// between consecutive epochs.
+	stages := metrics.NewStageSet()
+	var engine *runtime.Engine
+	var prevStats runtime.Stats
 	cfg := runtime.Config{
 		Node: node, Endpoint: ep, Neighbors: neighbors,
 		Secure:     o.secure,
@@ -229,6 +237,16 @@ func run(o daemonOpts) error {
 		Rejoin:       true,
 		OnEpoch: func(e int, rmse float64) {
 			log.Printf("node %d epoch %3d: local test RMSE %.4f", o.id, e, rmse)
+			if engine == nil {
+				return
+			}
+			st := *engine.Stats()
+			stages.Observe("train", st.Train-prevStats.Train)
+			stages.Observe("merge", st.Merge-prevStats.Merge)
+			stages.Observe("share", st.Share-prevStats.Share)
+			stages.Observe("seal", st.Seal-prevStats.Seal)
+			stages.Observe("wire", st.Wire-prevStats.Wire)
+			prevStats = st
 		},
 	}
 	if o.secure {
@@ -248,7 +266,7 @@ func run(o daemonOpts) error {
 		cfg.Entropy = rand.New(rand.NewSource(o.seed + int64(o.id) + 1000))
 	}
 
-	engine, err := runtime.NewEngine(cfg)
+	engine, err = runtime.NewEngine(cfg)
 	if err != nil {
 		return err
 	}
@@ -278,6 +296,7 @@ func run(o daemonOpts) error {
 	if o.httpAddr != "" {
 		srv, err := serve.New(serve.Config{
 			Node: engine, ID: o.id, NumItems: ds.NumItems,
+			Stages: stages,
 			OnRate: func(rs []dataset.Rating) error {
 				if dir == nil {
 					return nil

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"rex/internal/loadgen"
+	"rex/internal/metrics"
+)
+
+// This file runs declarative load workloads (internal/loadgen) and
+// renders/records the results: throughput plus p50/p95/p99 request
+// latency per endpoint (client- and server-observed) and per pipeline
+// stage. Sim mode drives an in-process engine cluster; live mode replays
+// the identical schedule against rexd HTTP endpoints.
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// Spec is the workload (already resolved from a name or file).
+	Spec *loadgen.Spec
+	// TargetURLs switches to live mode: rexd base URLs, one per node.
+	// Empty = sim mode over an in-process cluster of Nodes engines.
+	TargetURLs []string
+	// Nodes is the sim-mode cluster size (default 2); ignored live.
+	Nodes int
+	// Workers is the dispatch concurrency (default 4).
+	Workers int
+	// Out receives the human-readable tables; nil = discard.
+	Out io.Writer
+}
+
+// RunLoad executes the workload and prints the latency tables.
+func RunLoad(cfg LoadConfig) (*loadgen.Report, error) {
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("experiments: load spec is required")
+	}
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+
+	var tgt loadgen.Target
+	mode := "sim"
+	if len(cfg.TargetURLs) > 0 {
+		mode = "live"
+		nodes = len(cfg.TargetURLs)
+		t, err := loadgen.NewHTTPTarget(cfg.TargetURLs, cfg.Spec.TickMillis)
+		if err != nil {
+			return nil, err
+		}
+		tgt = t
+	} else {
+		t, err := loadgen.NewEngineCluster(cfg.Spec, nodes)
+		if err != nil {
+			return nil, err
+		}
+		tgt = t
+	}
+
+	fmt.Fprintf(out, "workload %q: %d users, %d items, %d ticks, %s mode, %d nodes\n",
+		cfg.Spec.Name, cfg.Spec.Users, cfg.Spec.Items, cfg.Spec.Ticks, mode, nodes)
+	rep, err := loadgen.Run(cfg.Spec, tgt, mode, nodes, loadgen.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "%d events in %s (%.0f events/s), schedule digest %s\n\n",
+		rep.Events, metrics.FormatSeconds(rep.WallSec), rep.EventsPerSec, rep.ScheduleDigest)
+
+	lat := metrics.NewTable("Endpoint", "View", "Requests", "OK", "Rejected", "p50 / p95 / p99", "Mean")
+	addRow := func(name, view string, er loadgen.EndpointReport) {
+		var ok, rejected uint64
+		for code, n := range er.Statuses {
+			if code >= 200 && code < 300 {
+				ok += n
+			} else {
+				rejected += n
+			}
+		}
+		lat.AddRow(name, view, fmt.Sprint(er.Count), fmt.Sprint(ok), fmt.Sprint(rejected),
+			fmt.Sprintf("%s / %s / %s",
+				metrics.FormatSeconds(er.P50Ms/1e3),
+				metrics.FormatSeconds(er.P95Ms/1e3),
+				metrics.FormatSeconds(er.P99Ms/1e3)),
+			metrics.FormatSeconds(er.MeanMs/1e3))
+	}
+	for _, name := range []string{"rate", "recommend"} {
+		addRow(name, "client", rep.Client[name])
+		if sv, ok := rep.Server[name]; ok {
+			addRow(name, "server", sv)
+		}
+	}
+	lat.Fprint(out)
+
+	if len(rep.Stages) > 0 {
+		fmt.Fprintln(out)
+		st := metrics.NewTable("Stage", "Epochs", "p50 / p95 / p99", "Mean")
+		names := make([]string, 0, len(rep.Stages))
+		for name := range rep.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := rep.Stages[name]
+			st.AddRow(name, fmt.Sprint(s.Count),
+				fmt.Sprintf("%s / %s / %s",
+					metrics.FormatSeconds(s.P50Ms/1e3),
+					metrics.FormatSeconds(s.P95Ms/1e3),
+					metrics.FormatSeconds(s.P99Ms/1e3)),
+				metrics.FormatSeconds(s.MeanMs/1e3))
+		}
+		st.Fprint(out)
+	}
+	return rep, nil
+}
+
+// LoadReport is the BENCH_load.json schema: the loadgen report plus
+// recording metadata.
+type LoadReport struct {
+	Note     string `json:"note"`
+	Recorded string `json:"recorded"`
+	*loadgen.Report
+}
+
+// WriteLoadReport writes the report as indented JSON to path.
+func WriteLoadReport(rep *loadgen.Report, path string) error {
+	full := LoadReport{
+		Note: "declarative workload replay: schedule is a pure hash of (seed, user, tick); " +
+			"client latencies include dispatch, server latencies are handler time from /metrics, " +
+			"stages are per-epoch pipeline durations",
+		Recorded: time.Now().UTC().Format("2006-01-02"),
+		Report:   rep,
+	}
+	b, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

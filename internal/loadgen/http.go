@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rex/internal/serve"
+)
+
+// HTTPTarget replays a schedule against a live rexd deployment: the same
+// events the sim driver feeds in-process go out as real HTTP requests,
+// routed user→node exactly like the sim's shard routing, so the two
+// modes are directly comparable. EndTick paces to the spec's tick_millis
+// wall clock; Finish scrapes every node's /metrics and merges them.
+type HTTPTarget struct {
+	urls       []string
+	client     *http.Client
+	tickMillis int
+	start      time.Time
+}
+
+// NewHTTPTarget builds a live-cluster target from base URLs (e.g.
+// "http://127.0.0.1:8800,http://127.0.0.1:8801"). tickMillis paces
+// replay; 0 replays as fast as the cluster accepts.
+func NewHTTPTarget(urls []string, tickMillis int) (*HTTPTarget, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("loadgen: no target urls")
+	}
+	clean := make([]string, len(urls))
+	for i, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("loadgen: empty target url at position %d", i)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		clean[i] = u
+	}
+	return &HTTPTarget{
+		urls:       clean,
+		client:     &http.Client{Timeout: 30 * time.Second},
+		tickMillis: tickMillis,
+		start:      time.Now(),
+	}, nil
+}
+
+// Do implements Target: one real HTTP request, routed by user.
+func (h *HTTPTarget) Do(ev Event) (int, error) {
+	base := h.urls[int(ev.User)%len(h.urls)]
+	method, target, body := eventRequest(ev)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, base+target, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// EndTick implements Target: sleep until the next tick boundary, so the
+// replayed schedule's arrival times track the spec's tick clock (a tick
+// whose dispatch overran its budget starts the next one immediately).
+func (h *HTTPTarget) EndTick(t int) error {
+	if h.tickMillis <= 0 {
+		return nil
+	}
+	deadline := h.start.Add(time.Duration(t+1) * time.Duration(h.tickMillis) * time.Millisecond)
+	if d := time.Until(deadline); d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+// Finish implements Target: scrape and merge every node's /metrics.
+func (h *HTTPTarget) Finish() (*ServerMetrics, error) {
+	merged := newServerMetrics()
+	for _, base := range h.urls {
+		resp, err := h.client.Get(base + "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s/metrics: %w", base, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s/metrics: %w", base, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scraping %s/metrics: status %d", base, resp.StatusCode)
+		}
+		var mr serve.MetricsResponse
+		if err := json.Unmarshal(data, &mr); err != nil {
+			return nil, fmt.Errorf("decoding %s/metrics: %w", base, err)
+		}
+		merged.fold(&mr)
+	}
+	return merged, nil
+}

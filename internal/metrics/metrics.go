@@ -11,7 +11,15 @@ import (
 )
 
 // FormatBytes renders a byte count with binary units, e.g. "2.1 MiB".
+// Non-finite inputs render as "NaN"/"+Inf"/"-Inf" rather than leaking into
+// a unit suffix.
 func FormatBytes(b float64) string {
+	if math.IsNaN(b) {
+		return "NaN"
+	}
+	if math.IsInf(b, 0) {
+		return fmt.Sprintf("%+.0f", b)
+	}
 	abs := math.Abs(b)
 	switch {
 	case abs >= 1<<30:
@@ -25,8 +33,22 @@ func FormatBytes(b float64) string {
 	}
 }
 
-// FormatSeconds renders a duration in the unit the paper's axes use.
+// FormatSeconds renders a duration in the unit the paper's axes use,
+// extended down to the µs/ns range the request-latency percentiles live
+// in. The unit is chosen on the magnitude, so negative durations keep
+// their sign instead of falling through every branch into "-5000.0 ms";
+// NaN and ±Inf (e.g. a percentile of an empty series fed through a
+// division) render as themselves instead of "NaN ms" garbage.
 func FormatSeconds(s float64) string {
+	if math.IsNaN(s) {
+		return "NaN"
+	}
+	if math.IsInf(s, 0) {
+		return fmt.Sprintf("%+.0f", s)
+	}
+	if s < 0 {
+		return "-" + FormatSeconds(-s)
+	}
 	switch {
 	case s >= 3600:
 		return fmt.Sprintf("%.1f h", s/3600)
@@ -34,8 +56,14 @@ func FormatSeconds(s float64) string {
 		return fmt.Sprintf("%.1f min", s/60)
 	case s >= 1:
 		return fmt.Sprintf("%.1f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.1f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.1f µs", s*1e6)
+	case s == 0:
+		return "0 s"
 	default:
-		return fmt.Sprintf("%.1f ms", s*1000)
+		return fmt.Sprintf("%.1f ns", s*1e9)
 	}
 }
 

@@ -10,7 +10,12 @@ func TestFormatBytes(t *testing.T) {
 	for _, tc := range []struct {
 		in   float64
 		want string
-	}{{512, "512 B"}, {2048, "2.0 KiB"}, {3 << 20, "3.0 MiB"}, {5 << 30, "5.0 GiB"}} {
+	}{
+		{512, "512 B"}, {2048, "2.0 KiB"}, {3 << 20, "3.0 MiB"}, {5 << 30, "5.0 GiB"},
+		// Signs and non-finite values must not leak into unit garbage.
+		{-3 << 20, "-3.0 MiB"}, {-12, "-12 B"},
+		{math.NaN(), "NaN"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+	} {
 		if got := FormatBytes(tc.in); got != tc.want {
 			t.Fatalf("FormatBytes(%v) = %q want %q", tc.in, got, tc.want)
 		}
@@ -21,7 +26,19 @@ func TestFormatSeconds(t *testing.T) {
 	for _, tc := range []struct {
 		in   float64
 		want string
-	}{{0.005, "5.0 ms"}, {2.5, "2.5 s"}, {90, "1.5 min"}, {7200, "2.0 h"}} {
+	}{
+		{0.005, "5.0 ms"}, {2.5, "2.5 s"}, {90, "1.5 min"}, {7200, "2.0 h"},
+		// The extremes request-latency percentiles feed through here:
+		// sub-millisecond and sub-nanosecond values get real units instead
+		// of "0.0 ms", negatives keep their sign and unit, multi-hour
+		// stays in hours, and NaN/Inf render as themselves — never
+		// "NaN ms" in a benchmark table.
+		{250e-6, "250.0 µs"}, {3.2e-9, "3.2 ns"}, {1.2e-10, "0.1 ns"},
+		{0, "0 s"},
+		{-0.25, "-250.0 ms"}, {-90, "-1.5 min"},
+		{1e6, "277.8 h"},
+		{math.NaN(), "NaN"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+	} {
 		if got := FormatSeconds(tc.in); got != tc.want {
 			t.Fatalf("FormatSeconds(%v) = %q want %q", tc.in, got, tc.want)
 		}

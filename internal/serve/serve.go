@@ -7,6 +7,7 @@
 //	GET  /recommend?user=U&n=N[&model=knn]  ranked unseen items
 //	POST /rate                              online rating ingestion
 //	GET  /status                            control-plane counters
+//	GET  /metrics                           per-endpoint latency histograms
 //	GET  /peers                             live/lost neighbor sets
 //	POST /drain                             graceful stop of training
 //	GET  /snapshot                          serialized serving state
@@ -26,9 +27,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"rex/internal/dataset"
 	"rex/internal/knn"
+	"rex/internal/metrics"
 	"rex/internal/rank"
 	"rex/internal/runtime"
 )
@@ -72,12 +75,17 @@ type Config struct {
 	// Extra, when set, contributes additional fields to /status (e.g. the
 	// daemon's generation counter and data directory).
 	Extra func() map[string]any
+	// Stages, when set, is surfaced under "stages" in /metrics — the
+	// daemon records per-epoch pipeline stage durations (train, merge,
+	// seal, wire, ...) into it.
+	Stages *metrics.StageSet
 }
 
 // Server serves the HTTP API.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	stats map[string]*endpointStats // keyed by endpoint name, fixed at New
 
 	// Per-snapshot caches, rebuilt when the served epoch advances. The
 	// KNN recommender is built lazily: only queries asking for it pay the
@@ -88,6 +96,27 @@ type Server struct {
 	knnRec   *knn.Recommender
 	knnSnap  *runtime.Snapshot
 	knnBuilt bool
+}
+
+// endpointStats accumulates one endpoint's request latencies and response
+// status counts. The histogram path is lock-free; status counts take a
+// short mutex (one map bump per request).
+type endpointStats struct {
+	hist     metrics.Hist
+	mu       sync.Mutex
+	statuses map[int]uint64
+}
+
+// statusWriter captures the response status code for accounting. Handlers
+// that never call WriteHeader implicitly send 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // New builds a Server.
@@ -101,14 +130,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.KNN.K <= 0 {
 		cfg.KNN = knn.DefaultConfig()
 	}
-	s := &Server{cfg: cfg, cacheEp: -1, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /recommend", s.handleRecommend)
-	s.mux.HandleFunc("POST /rate", s.handleRate)
-	s.mux.HandleFunc("GET /status", s.handleStatus)
-	s.mux.HandleFunc("GET /peers", s.handlePeers)
-	s.mux.HandleFunc("POST /drain", s.handleDrain)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s := &Server{cfg: cfg, cacheEp: -1, mux: http.NewServeMux(), stats: make(map[string]*endpointStats)}
+	s.mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
+	s.mux.HandleFunc("POST /rate", s.instrument("rate", s.handleRate))
+	s.mux.HandleFunc("GET /status", s.instrument("status", s.handleStatus))
+	s.mux.HandleFunc("GET /peers", s.instrument("peers", s.handlePeers))
+	s.mux.HandleFunc("POST /drain", s.instrument("drain", s.handleDrain))
+	s.mux.HandleFunc("GET /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// instrument wraps a handler with request-latency and status accounting
+// under the given endpoint name.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	es := &endpointStats{statuses: make(map[int]uint64)}
+	s.stats[name] = es
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		es.hist.Observe(time.Since(start))
+		es.mu.Lock()
+		es.statuses[sw.code]++
+		es.mu.Unlock()
+	}
 }
 
 // Handler returns the http.Handler for the API.
@@ -227,6 +273,30 @@ type Rating struct {
 	Value float32 `json:"value"`
 }
 
+// maxEntityID mirrors the gossip wire's id cap (internal/mf): user and
+// item ids at or above 2^24 cannot be encoded on the delta wire, so the
+// serving edge must reject them up front — before the WAL append — or a
+// single bad rating would poison every future gossip round.
+const maxEntityID = 1 << 24
+
+// validateRating is the full admission check for one /rate entry,
+// applied before any durability or ingestion side effect. The value
+// check is written as a negated inclusion so NaN (which fails every
+// comparison) is rejected rather than slipping past a two-sided
+// exclusion check; ±Inf falls outside the interval the same way.
+func validateRating(i int, b Rating, numItems int) error {
+	if !(b.Value >= 0.5 && b.Value <= 5) {
+		return fmt.Errorf("rating %d: value %v outside [0.5, 5]", i, b.Value)
+	}
+	if b.User >= maxEntityID {
+		return fmt.Errorf("rating %d: user %d above wire id cap %d", i, b.User, maxEntityID)
+	}
+	if int(b.Item) >= numItems {
+		return fmt.Errorf("rating %d: item %d outside catalog of %d", i, b.Item, numItems)
+	}
+	return nil
+}
+
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	var batch []Rating
@@ -255,12 +325,8 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 	}
 	rs := make([]dataset.Rating, len(batch))
 	for i, b := range batch {
-		if b.Value < 0.5 || b.Value > 5 {
-			writeErr(w, http.StatusBadRequest, "rating %d: value %v outside [0.5, 5]", i, b.Value)
-			return
-		}
-		if int(b.Item) >= s.cfg.NumItems {
-			writeErr(w, http.StatusBadRequest, "rating %d: item %d outside catalog of %d", i, b.Item, s.cfg.NumItems)
+		if err := validateRating(i, b, s.cfg.NumItems); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		rs[i] = dataset.Rating{User: b.User, Item: b.Item, Value: b.Value}
@@ -319,6 +385,58 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// EndpointMetrics is one endpoint's entry in the /metrics payload.
+// Percentiles are precomputed in milliseconds for human consumption; the
+// raw histogram rides along so a scraper aggregating several nodes can
+// merge buckets (metrics.HistSnapshot.Add) and get exact cluster-wide
+// quantiles instead of averaging per-node percentiles.
+type EndpointMetrics struct {
+	Count    uint64                `json:"count"`
+	Statuses map[int]uint64        `json:"statuses"`
+	MeanMs   float64               `json:"mean_ms"`
+	P50Ms    float64               `json:"p50_ms"`
+	P95Ms    float64               `json:"p95_ms"`
+	P99Ms    float64               `json:"p99_ms"`
+	Hist     *metrics.HistSnapshot `json:"hist,omitempty"`
+}
+
+// MetricsResponse is the /metrics payload.
+type MetricsResponse struct {
+	Endpoints map[string]EndpointMetrics       `json:"endpoints"`
+	Stages    map[string]*metrics.HistSnapshot `json:"stages,omitempty"`
+}
+
+func endpointMetricsFrom(es *endpointStats) EndpointMetrics {
+	snap := es.hist.Snapshot()
+	es.mu.Lock()
+	statuses := make(map[int]uint64, len(es.statuses))
+	for code, n := range es.statuses {
+		statuses[code] = n
+	}
+	es.mu.Unlock()
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	return EndpointMetrics{
+		Count:    snap.Count,
+		Statuses: statuses,
+		MeanMs:   ms(snap.Mean()),
+		P50Ms:    ms(snap.Quantile(0.50)),
+		P95Ms:    ms(snap.Quantile(0.95)),
+		P99Ms:    ms(snap.Quantile(0.99)),
+		Hist:     snap,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{Endpoints: make(map[string]EndpointMetrics, len(s.stats))}
+	for name, es := range s.stats {
+		resp.Endpoints[name] = endpointMetricsFrom(es)
+	}
+	if s.cfg.Stages != nil {
+		resp.Stages = s.cfg.Stages.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {

@@ -10,11 +10,13 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"rex/internal/core"
 	"rex/internal/dataset"
 	"rex/internal/gossip"
 	"rex/internal/knn"
+	"rex/internal/metrics"
 	"rex/internal/mf"
 	"rex/internal/model"
 	"rex/internal/movielens"
@@ -444,5 +446,188 @@ func TestStatusWireCounters(t *testing.T) {
 	_, body = get(t, s.Handler(), "/status")
 	if got, _ := body["wire_saved_bytes"].(float64); got != 0 {
 		t.Fatalf("full-wire saving = %v, want 0", got)
+	}
+}
+
+// TestRateRejectionTable walks every /rate admission failure: each must
+// return 400 with a structured error body, and — the durability contract —
+// neither the WAL hook nor the ingest mailbox may see any part of the
+// batch.
+func TestRateRejectionTable(t *testing.T) {
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"value-below-range", `{"user":1,"item":2,"value":0.4}`},
+		{"value-above-range", `{"user":1,"item":2,"value":5.5}`},
+		{"value-negative", `{"user":1,"item":2,"value":-3}`},
+		// 1e39 overflows float32 at decode time; json surfaces it as an
+		// unmarshal error, which must also land as a 400.
+		{"value-overflows-float32", `{"user":1,"item":2,"value":1e39}`},
+		{"value-wrong-type", `{"user":1,"item":2,"value":"four"}`},
+		{"item-outside-catalog", `{"user":1,"item":100,"value":3}`},
+		{"user-at-wire-cap", `{"user":16777216,"item":2,"value":3}`},
+		{"user-above-wire-cap", `{"user":4294967295,"item":2,"value":3}`},
+		{"bad-entry-in-batch", `[{"user":1,"item":2,"value":3},{"user":16777216,"item":2,"value":3}]`},
+		{"garbage", `not json`},
+		{"user-negative", `{"user":-1,"item":2,"value":3}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := &fakeNode{status: &runtime.Status{}}
+			walCalled := false
+			s, err := New(Config{Node: n, NumItems: 100, OnRate: func([]dataset.Rating) error {
+				walCalled = true
+				return nil
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, body := post(t, s.Handler(), "/rate", tc.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("%s: code %d, want 400 (body %v)", tc.name, w.Code, body)
+			}
+			if _, ok := body["error"].(string); !ok {
+				t.Fatalf("%s: no structured error in %v", tc.name, body)
+			}
+			if walCalled {
+				t.Fatalf("%s: WAL hook ran for a rejected batch", tc.name)
+			}
+			if len(n.ingested) != 0 {
+				t.Fatalf("%s: rejected batch leaked %d ratings into the mailbox", tc.name, len(n.ingested))
+			}
+		})
+	}
+
+	// The largest representable ids below the caps still pass.
+	n := &fakeNode{status: &runtime.Status{}}
+	s, _ := New(Config{Node: n, NumItems: 100})
+	if w, body := post(t, s.Handler(), "/rate", `{"user":16777215,"item":99,"value":5}`); w.Code != http.StatusOK {
+		t.Fatalf("max in-range rating rejected: %d %v", w.Code, body)
+	}
+	if len(n.ingested) != 1 {
+		t.Fatalf("in-range rating not ingested (%d)", len(n.ingested))
+	}
+}
+
+// TestValidateRatingNonFinite exercises the non-finite values JSON cannot
+// carry (so the HTTP table above cannot reach them): NaN fails the negated
+// range check by failing every comparison, and both infinities fall
+// outside the interval.
+func TestValidateRatingNonFinite(t *testing.T) {
+	for _, v := range []float32{
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+	} {
+		if err := validateRating(0, Rating{User: 1, Item: 2, Value: v}, 10); err == nil {
+			t.Fatalf("value %v admitted", v)
+		}
+	}
+	if err := validateRating(0, Rating{User: 1, Item: 2, Value: 3}, 10); err != nil {
+		t.Fatalf("valid rating rejected: %v", err)
+	}
+	if err := validateRating(0, Rating{User: maxEntityID, Item: 2, Value: 3}, 10); err == nil {
+		t.Fatal("user at wire cap admitted")
+	}
+	if err := validateRating(0, Rating{User: maxEntityID - 1, Item: 2, Value: 3}, 10); err != nil {
+		t.Fatalf("user below wire cap rejected: %v", err)
+	}
+}
+
+// TestRecommendRejectionTable: malformed queries get structured 400s, not
+// empty bodies or 500s.
+func TestRecommendRejectionTable(t *testing.T) {
+	n := &fakeNode{
+		status: &runtime.Status{},
+		snap: &runtime.Snapshot{
+			Epoch: 1, Model: mf.New(mf.DefaultConfig()),
+			Ratings: []dataset.Rating{{User: 1, Item: 2, Value: 3}},
+		},
+	}
+	s, err := New(Config{Node: n, NumItems: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for _, tc := range []struct{ name, query string }{
+		{"user-missing", "/recommend"},
+		{"user-not-integer", "/recommend?user=abc"},
+		{"user-negative", "/recommend?user=-1"},
+		{"user-fractional", "/recommend?user=1.5"},
+		{"user-overflows-uint32", "/recommend?user=4294967296"},
+		{"n-zero", "/recommend?user=1&n=0"},
+		{"n-negative", "/recommend?user=1&n=-3"},
+		{"n-not-integer", "/recommend?user=1&n=ten"},
+		{"model-unknown", "/recommend?user=1&model=svd"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, body := get(t, h, tc.query)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("%s: code %d, want 400 (body %v)", tc.name, w.Code, body)
+			}
+			if msg, ok := body["error"].(string); !ok || msg == "" {
+				t.Fatalf("%s: no structured error in %v", tc.name, body)
+			}
+		})
+	}
+	if w, body := get(t, h, "/recommend?user=1&n=3"); w.Code != http.StatusOK {
+		t.Fatalf("valid query: %d %v", w.Code, body)
+	}
+}
+
+// TestMetricsEndpoint: request traffic shows up per endpoint with status
+// counts and sane latency percentiles, stage histograms surface when the
+// daemon provides them, and the payload decodes into the exported
+// MetricsResponse type the load generator scrapes.
+func TestMetricsEndpoint(t *testing.T) {
+	n := &fakeNode{
+		status: &runtime.Status{},
+		snap: &runtime.Snapshot{
+			Epoch: 1, Model: mf.New(mf.DefaultConfig()),
+			Ratings: []dataset.Rating{{User: 1, Item: 2, Value: 3}},
+		},
+	}
+	stages := metrics.NewStageSet()
+	stages.Observe("train", 20*time.Millisecond)
+	stages.Observe("merge", 5*time.Millisecond)
+	s, err := New(Config{Node: n, NumItems: 10, Stages: stages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for i := 0; i < 10; i++ {
+		if w, _ := get(t, h, "/recommend?user=1&n=2"); w.Code != http.StatusOK {
+			t.Fatalf("recommend %d failed: %d", i, w.Code)
+		}
+	}
+	post(t, h, "/rate", `{"user":1,"item":2,"value":3}`)
+	post(t, h, "/rate", `{"user":1,"item":2,"value":99}`) // one 400
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", w.Code, w.Body.String())
+	}
+	var resp MetricsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	rec := resp.Endpoints["recommend"]
+	if rec.Count != 10 || rec.Statuses[200] != 10 {
+		t.Fatalf("recommend metrics %+v, want 10 requests all 200", rec)
+	}
+	if rec.P50Ms <= 0 || rec.P50Ms > rec.P99Ms {
+		t.Fatalf("recommend percentiles not sane: p50=%v p99=%v", rec.P50Ms, rec.P99Ms)
+	}
+	rate := resp.Endpoints["rate"]
+	if rate.Count != 2 || rate.Statuses[200] != 1 || rate.Statuses[400] != 1 {
+		t.Fatalf("rate metrics %+v, want one 200 and one 400", rate)
+	}
+	if rec.Hist == nil || rec.Hist.Count != 10 {
+		t.Fatal("raw histogram missing from /metrics (cluster merging needs it)")
+	}
+	if resp.Stages["train"].Count != 1 || resp.Stages["merge"].Count != 1 {
+		t.Fatalf("stage histograms missing: %v", resp.Stages)
+	}
+	// Quantile of the decoded stage snapshot lands in the observed bucket.
+	if q := resp.Stages["train"].Quantile(0.5); q < 18*time.Millisecond || q > 22*time.Millisecond {
+		t.Fatalf("train p50 %v, want ~20ms", q)
 	}
 }

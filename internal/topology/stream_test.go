@@ -154,6 +154,77 @@ func TestSmallWorldStreamShortcutMass(t *testing.T) {
 	}
 }
 
+// TestERStreamDegreeMass checks the bucketed edge budget: the mean degree
+// over a large graph must approach ring (2) + p·(n−1), matching the
+// materialized G(n, p) expectation, so swapping the O(n)-scan derivation
+// for hashed buckets did not change the edge mass.
+func TestERStreamDegreeMass(t *testing.T) {
+	const n = 4096
+	const p = 0.002 // expected non-ring degree ~8.2
+	var total int
+	s := NewERStream(n, p, 123)
+	if s.bucket == 0 {
+		t.Fatalf("n=%d p=%v should take the bucketed sparse path", n, p)
+	}
+	for i := 0; i < n; i++ {
+		total += s.Degree(i)
+	}
+	mean := float64(total) / n
+	want := 2 + p*(n-1)
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Fatalf("mean degree %.3f, want about %.3f", mean, want)
+	}
+}
+
+// TestERStreamLargeSparse touches a few hundred nodes of a million-node
+// sparse graph — the scale path's access pattern. Each derivation must be
+// bucket-local (no O(n) scan; this test would take minutes otherwise) and
+// still symmetric and deterministic.
+func TestERStreamLargeSparse(t *testing.T) {
+	const n = 1 << 20
+	s := NewERStream(n, 5.0/(n-1), 77) // expected degree ~2 ring + 5 random
+	s2 := NewERStream(n, 5.0/(n-1), 77)
+	if s.bucket == 0 {
+		t.Fatal("large sparse graph should take the bucketed path")
+	}
+	for step := 0; step < 400; step++ {
+		i := (step * 2654435761) % n
+		nb := s.Neighbors(i)
+		nb2 := s2.Neighbors(i)
+		if len(nb) != len(nb2) {
+			t.Fatalf("node %d: same seed, different degree", i)
+		}
+		for k, j := range nb {
+			if nb2[k] != j {
+				t.Fatalf("node %d: same seed, different neighbors", i)
+			}
+			found := false
+			for _, back := range s.Neighbors(j) {
+				if back == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkERStreamNeighbors(b *testing.B) {
+	const n = 1 << 20
+	s := NewERStream(n, 8.0/(n-1), 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Fresh cache slots would dominate; cycle through distinct nodes so
+		// each iteration computes (not just loads) a list.
+		node := i % n
+		s.cache.slots[node].Store(nil)
+		_ = s.Neighbors(node)
+	}
+}
+
 // TestRandomNeighborOfMatchesGraph pins that the generic helper consumes
 // the rng exactly like Graph.RandomNeighbor, so swapping a materialized
 // graph for any Source keeps RMW trajectories bit-identical.
