@@ -55,6 +55,18 @@
 // latency is gated (wall-clock varies per runner); the gate catches the
 // failure modes this repo controls: a broken /metrics scrape, a schedule
 // that generated nothing, or handlers rejecting valid traffic.
+//
+// A fifth mode gates chaos-load reports:
+//
+//	go run ./cmd/rexbench -load flashcrowd -scenario lossy -chaos-out chaos_meas.json
+//	go run ./cmd/benchgate -chaosload chaos_meas.json
+//
+// runs the load gate's structural checks (with the error-fraction bound
+// waived — shedding is the point of the run) plus the chaos invariants:
+// the dispatched schedule digest equals the fault-free digest, every
+// acked rating survived into the final snapshots (no accept-then-lose),
+// the shed count is nonzero but the shed fraction bounded, nothing was
+// rejected 400, and the injected scenario actually fired.
 package main
 
 import (
@@ -234,7 +246,13 @@ func loadGate(path string, maxErrFrac float64) bool {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", path, err))
 	}
+	return gateLoadStruct(&rep, maxErrFrac)
+}
 
+// gateLoadStruct runs the structural checks shared by -load and
+// -chaosload. maxErrFrac bounds the non-2xx response fraction; chaos
+// runs pass 1 (sheds are expected there and gated separately).
+func gateLoadStruct(rep *loadReport, maxErrFrac float64) bool {
 	failed := false
 	check := func(what, problem string) {
 		verdict := "ok"
@@ -304,6 +322,120 @@ func loadGate(path string, maxErrFrac float64) bool {
 	return failed
 }
 
+// chaosReport mirrors the BENCH_chaosload.json schema
+// (internal/experiments.ChaosLoadReport), decoded structurally.
+type chaosReport struct {
+	Scenario        string           `json:"scenario"`
+	FaultFreeDigest string           `json:"fault_free_digest"`
+	AckedRatings    uint64           `json:"acked_ratings"`
+	AckedSurvived   uint64           `json:"acked_survived"`
+	AckedLost       uint64           `json:"acked_lost"`
+	ShedFraction    float64          `json:"shed_fraction"`
+	Faults          map[string]int64 `json:"faults"`
+	Outcomes        struct {
+		Accepted  uint64 `json:"accepted"`
+		RetriedOK uint64 `json:"retried_ok"`
+		Shed      uint64 `json:"shed"`
+		Rejected  uint64 `json:"rejected"`
+		Failed    uint64 `json:"failed"`
+		Retries   uint64 `json:"retries"`
+	} `json:"outcomes"`
+	loadReport
+}
+
+// chaosGate gates a BENCH_chaosload.json report: the structural checks of
+// the load gate (with the error-fraction bound waived — shedding is the
+// point) plus the chaos invariants. Two are absolute: the dispatched
+// schedule digest must equal the fault-free digest (faults degrade
+// delivery, never the workload), and no acked rating may be missing from
+// the final snapshots (accept-then-lose would make a 200 a lie). The
+// rest bound graceful degradation: sheds happened but stayed under
+// maxShed of the total, nothing was rejected 400 (the catalog preflight
+// guarantees valid traffic), and the injected scenario really fired.
+func chaosGate(path string, maxShed float64, minShed uint64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep chaosReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+
+	failed := gateLoadStruct(&rep.loadReport, 1)
+	check := func(what, problem string) {
+		verdict := "ok"
+		if problem != "" {
+			verdict = "FAIL: " + problem
+			failed = true
+		}
+		fmt.Printf("%-28s %s\n", what, verdict)
+	}
+
+	digestProblem := ""
+	if rep.FaultFreeDigest != rep.ScheduleDigest {
+		digestProblem = fmt.Sprintf("dispatched %q != fault-free %q — faults perturbed the workload",
+			rep.ScheduleDigest, rep.FaultFreeDigest)
+	}
+	check("digest vs fault-free", digestProblem)
+
+	ackProblem := ""
+	switch {
+	case rep.AckedRatings == 0:
+		ackProblem = "no acked ratings recorded"
+	case rep.AckedLost != 0:
+		ackProblem = fmt.Sprintf("%d acked ratings lost (accept-then-lose)", rep.AckedLost)
+	case rep.AckedSurvived != rep.AckedRatings:
+		ackProblem = fmt.Sprintf("survived %d != acked %d but lost 0 (inconsistent report)",
+			rep.AckedSurvived, rep.AckedRatings)
+	}
+	check("acked-rating survival", ackProblem)
+
+	o := rep.Outcomes
+	totalProblem := ""
+	if sum := o.Accepted + o.RetriedOK + o.Shed + o.Rejected + o.Failed; sum != rep.Events {
+		totalProblem = fmt.Sprintf("outcomes sum %d != events %d", sum, rep.Events)
+	}
+	check("outcome accounting", totalProblem)
+
+	shedProblem := ""
+	if o.Shed < minShed {
+		shedProblem = fmt.Sprintf("%d sheds, want >= %d (admission gates never fired)", o.Shed, minShed)
+	} else if rep.ShedFraction > maxShed {
+		shedProblem = fmt.Sprintf("shed fraction %.2f above the %.2f bound (admission over-shedding)",
+			rep.ShedFraction, maxShed)
+	}
+	check("shed bounded", shedProblem)
+
+	rejProblem := ""
+	if o.Rejected != 0 {
+		rejProblem = fmt.Sprintf("%d events rejected 400 — the catalog preflight should make this impossible", o.Rejected)
+	}
+	check("no validation rejects", rejProblem)
+
+	// Transport failures should be rare on a local/CI cluster even under
+	// chaos (faults hit gossip links, not the serving sockets); tolerate
+	// noise but catch a broken target.
+	failProblem := ""
+	if rep.Events > 0 && float64(o.Failed)/float64(rep.Events) > 0.02 {
+		failProblem = fmt.Sprintf("%d of %d events failed outright", o.Failed, rep.Events)
+	}
+	check("transport failures", failProblem)
+
+	if rep.Scenario != "" {
+		var injected int64
+		for _, n := range rep.Faults {
+			injected += n
+		}
+		faultProblem := ""
+		if injected == 0 {
+			faultProblem = fmt.Sprintf("scenario %q injected zero faults", rep.Scenario)
+		}
+		check("faults injected", faultProblem)
+	}
+	return failed
+}
+
 // scaleGate fails when a fresh measurement's bytes-per-user exceeds the
 // committed baseline by more than the baseline's tolerance at any size
 // present in both files. Sizes only one side measured are reported but
@@ -360,7 +492,17 @@ func main() {
 	scaleBase := flag.String("scalebase", "BENCH_scale.json", "committed scale baseline JSON")
 	loadPath := flag.String("load", "", "rexbench -load-out JSON (BENCH_load.json schema); gates the report's structural completeness")
 	loadErr := flag.Float64("loaderr", 0.01, "maximum non-2xx response fraction for -load")
+	chaosPath := flag.String("chaosload", "", "rexbench -chaos-out JSON (BENCH_chaosload.json schema); gates chaos invariants (digest equality, acked-rating survival, bounded shed)")
+	chaosMaxShed := flag.Float64("chaosmaxshed", 0.75, "maximum shed fraction for -chaosload")
+	chaosMinShed := flag.Uint64("chaosminshed", 1, "minimum shed count for -chaosload (proves the admission gates fired)")
 	flag.Parse()
+	if *chaosPath != "" {
+		if chaosGate(*chaosPath, *chaosMaxShed, *chaosMinShed) {
+			fmt.Fprintln(os.Stderr, "benchgate: chaos-load report violates an invariant")
+			os.Exit(1)
+		}
+		return
+	}
 	if *loadPath != "" {
 		if loadGate(*loadPath, *loadErr) {
 			fmt.Fprintln(os.Stderr, "benchgate: load report incomplete or inconsistent")

@@ -27,7 +27,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		points     = flag.Int("points", 12, "series rows printed per curve")
 		workers    = flag.Int("workers", 0, "simulator goroutines per epoch (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		scenario   = flag.String("scenario", "", "chaos scenario: a canned name (see internal/faultnet.Canned) or a JSON spec file; injects seeded message loss/delay/duplication/reordering, partitions and churn into every simulated run")
+		scenario   = flag.String("scenario", "", "chaos scenario: a canned name (see internal/faultnet.Canned) or a JSON spec file; injects seeded message loss/delay/duplication/reordering, partitions and churn into every simulated run — combined with -load it runs the workload under the fault schedule (chaos-load)")
 		list       = flag.Bool("list", false, "list available experiments")
 		scale      = flag.Bool("scale", false, "run the users-vs-cost scale sweep instead of a paper artifact")
 		scaleUsers = flag.String("scale-users", "1000,10000,50000,100000", "comma-separated node counts for -scale")
@@ -38,6 +38,9 @@ func main() {
 		loadNodes  = flag.Int("load-nodes", 2, "sim-mode cluster size for -load")
 		loadWork   = flag.Int("load-workers", 4, "dispatch concurrency for -load")
 		loadOut    = flag.String("load-out", "", "write the -load report as JSON (BENCH_load.json schema) to this path")
+		loadRetry  = flag.Int("load-retries", 0, "per-event retry budget on 429/503/transport errors (deterministic backoff from the event hash)")
+		loadTO     = flag.Duration("load-timeout", 0, "per-request timeout in live mode (0 = 30s)")
+		chaosOut   = flag.String("chaos-out", "", "with -load and -scenario: write the chaos-load report as JSON (BENCH_chaosload.json schema) to this path")
 	)
 	flag.Parse()
 
@@ -51,8 +54,41 @@ func main() {
 		if *loadTarget != "" {
 			urls = strings.Split(*loadTarget, ",")
 		}
+		// -scenario (or -chaos-out) composes the chaos harness with the
+		// load run: faults are injected under the workload (sim mode owns
+		// the engines and wraps them; live mode expects the daemons to run
+		// the same -scenario) and the report carries the invariant
+		// evidence — acked-rating survival, shed fraction, fault counters.
+		if *scenario != "" || *chaosOut != "" {
+			var sc *faultnet.Scenario
+			if *scenario != "" {
+				sc, err = faultnet.Resolve(*scenario)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rexbench: %v\n", err)
+					os.Exit(2)
+				}
+			}
+			rep, err := experiments.RunChaosLoad(experiments.ChaosLoadConfig{
+				Spec: spec, Scenario: sc, TargetURLs: urls, Nodes: *loadNodes,
+				Workers: *loadWork, Retries: *loadRetry, Timeout: *loadTO,
+				Out: os.Stdout,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rexbench: chaos-load: %v\n", err)
+				os.Exit(1)
+			}
+			if *chaosOut != "" {
+				if err := experiments.WriteChaosLoadReport(rep, *chaosOut); err != nil {
+					fmt.Fprintf(os.Stderr, "rexbench: chaos-load: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("### chaos-load report written to %s\n", *chaosOut)
+			}
+			return
+		}
 		rep, err := experiments.RunLoad(experiments.LoadConfig{
-			Spec: spec, TargetURLs: urls, Nodes: *loadNodes, Workers: *loadWork, Out: os.Stdout,
+			Spec: spec, TargetURLs: urls, Nodes: *loadNodes, Workers: *loadWork,
+			Retries: *loadRetry, Timeout: *loadTO, Out: os.Stdout,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rexbench: load: %v\n", err)

@@ -48,6 +48,7 @@ import (
 	"rex/internal/attest"
 	"rex/internal/core"
 	"rex/internal/dataset"
+	"rex/internal/faultnet"
 	"rex/internal/gossip"
 	"rex/internal/metrics"
 	"rex/internal/mf"
@@ -60,23 +61,28 @@ import (
 
 func main() {
 	var (
-		id        = flag.Int("id", 0, "this node's index into -nodes")
-		nodes     = flag.String("nodes", "", "comma-separated host:port of every node's gossip address, in id order")
-		httpAddr  = flag.String("http", "", "HTTP serving address (e.g. 127.0.0.1:8800)")
-		dataDir   = flag.String("data", "", "persistence directory (snapshots + rating WAL); empty = no persistence")
-		resume    = flag.Bool("resume", false, "restore model/store/epoch from the last snapshot in -data and rejoin the cluster")
-		gens      = flag.Int("generations", 0, "stop after this many generations; 0 = run until drained")
-		genEpochs = flag.Int("gen-epochs", 5, "training epochs per generation (one snapshot per generation)")
-		modeStr   = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
-		algoStr   = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
-		secure    = flag.Bool("secure", false, "attest peers and encrypt gossip; incompatible with -resume")
-		wireStr   = flag.String("wire", "delta", "gossip wire encoding: delta (per-peer delta frames) or full (flat frames)")
-		seed      = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
-		scale     = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
-		points    = flag.Int("share", 100, "raw data points shared per epoch")
-		steps     = flag.Int("steps", 300, "SGD steps per epoch")
-		roundTO   = flag.Duration("round-timeout", 5*time.Second, "max wait per neighbor per gossip round before counting a miss")
-		grace     = flag.Int("peer-grace", 3, "consecutive missed rounds before a peer is dropped (rejoin stays possible)")
+		id         = flag.Int("id", 0, "this node's index into -nodes")
+		nodes      = flag.String("nodes", "", "comma-separated host:port of every node's gossip address, in id order")
+		httpAddr   = flag.String("http", "", "HTTP serving address (e.g. 127.0.0.1:8800)")
+		dataDir    = flag.String("data", "", "persistence directory (snapshots + rating WAL); empty = no persistence")
+		resume     = flag.Bool("resume", false, "restore model/store/epoch from the last snapshot in -data and rejoin the cluster")
+		gens       = flag.Int("generations", 0, "stop after this many generations; 0 = run until drained")
+		genEpochs  = flag.Int("gen-epochs", 5, "training epochs per generation (one snapshot per generation)")
+		modeStr    = flag.String("mode", "rex", "sharing mode: rex (raw data) or ms (model parameters)")
+		algoStr    = flag.String("algo", "dpsgd", "dissemination: dpsgd or rmw")
+		secure     = flag.Bool("secure", false, "attest peers and encrypt gossip; incompatible with -resume")
+		wireStr    = flag.String("wire", "delta", "gossip wire encoding: delta (per-peer delta frames) or full (flat frames)")
+		seed       = flag.Int64("seed", 1, "shared dataset/partition seed (must match across the cluster)")
+		scale      = flag.Float64("scale", 0.1, "MovieLens-Latest scale factor for the synthetic dataset")
+		points     = flag.Int("share", 100, "raw data points shared per epoch")
+		steps      = flag.Int("steps", 300, "SGD steps per epoch")
+		roundTO    = flag.Duration("round-timeout", 5*time.Second, "max wait per neighbor per gossip round before counting a miss")
+		grace      = flag.Int("peer-grace", 3, "consecutive missed rounds before a peer is dropped (rejoin stays possible)")
+		scenario   = flag.String("scenario", "", "chaos scenario (canned name or JSON file): wrap this node's gossip endpoint with the seeded fault schedule; every node of the cluster must be given the same scenario")
+		rateLimit  = flag.Float64("rate-limit", 0, "admission: token-bucket rate for POST /rate in requests/sec; over-limit requests are shed 429 before any WAL write (0 = unlimited)")
+		rateBurst  = flag.Int("rate-burst", 0, "admission: token-bucket capacity (0 = ceil(rate-limit))")
+		ingQueue   = flag.Int("ingest-queue", 0, "admission: max concurrent /rate requests inside the WAL+ingest section; excess is shed 429 (0 = unbounded)")
+		maxSnapAge = flag.Duration("max-snapshot-age", 0, "admission: shed GET /recommend 503 when the served snapshot hasn't advanced for this long (0 = never)")
 	)
 	flag.Parse()
 	if err := run(daemonOpts{
@@ -85,6 +91,8 @@ func main() {
 		modeStr: *modeStr, algoStr: *algoStr, secure: *secure, wireStr: *wireStr,
 		seed: *seed, scale: *scale, points: *points, steps: *steps,
 		roundTimeout: *roundTO, peerGrace: *grace,
+		scenario: *scenario, rateLimit: *rateLimit, rateBurst: *rateBurst,
+		ingestQueue: *ingQueue, maxSnapshotAge: *maxSnapAge,
 	}); err != nil {
 		log.Fatalf("rexd: %v", err)
 	}
@@ -108,6 +116,12 @@ type daemonOpts struct {
 	steps        int
 	roundTimeout time.Duration
 	peerGrace    int
+
+	scenario       string
+	rateLimit      float64
+	rateBurst      int
+	ingestQueue    int
+	maxSnapshotAge time.Duration
 }
 
 func run(o daemonOpts) error {
@@ -213,7 +227,24 @@ func run(o daemonOpts) error {
 	if err != nil {
 		return err
 	}
-	defer ep.Close()
+	// gossipEP tracks the endpoint actually handed to the engine: a
+	// -scenario wraps ep with the fault injector, and closing the wrapper
+	// (which flushes stashed frames, then closes ep) is the right
+	// shutdown either way.
+	gossipEP := runtime.Endpoint(ep)
+	defer func() { gossipEP.Close() }()
+
+	var sc *faultnet.Scenario
+	var faultLog *faultnet.Log
+	if o.scenario != "" {
+		sc, err = faultnet.Resolve(o.scenario)
+		if err != nil {
+			return err
+		}
+		faultLog = &faultnet.Log{}
+		log.Printf("node %d: chaos scenario %q (seed %d): drop=%.2f delay=%.2f dup=%.2f reorder=%.2f partitions=%d churn=%d",
+			o.id, sc.Name, sc.Seed, sc.Drop, sc.Delay, sc.Duplicate, sc.Reorder, len(sc.Partitions), len(sc.Churn))
+	}
 
 	// Stage histograms for /metrics: OnEpoch runs on the protocol thread
 	// right after each Step — the one place Stats may be read — so the
@@ -248,6 +279,12 @@ func run(o daemonOpts) error {
 			stages.Observe("wire", st.Wire-prevStats.Wire)
 			prevStats = st
 		},
+	}
+	if sc != nil {
+		// Wraps cfg.Endpoint with the fault injector and applies the
+		// scenario's failure-detector knobs (timeout/grace/rejoin).
+		sc.ApplyRun(&cfg, faultLog)
+		gossipEP = cfg.Endpoint
 	}
 	if o.secure {
 		inf := attest.NewInfrastructure()
@@ -297,6 +334,12 @@ func run(o daemonOpts) error {
 		srv, err := serve.New(serve.Config{
 			Node: engine, ID: o.id, NumItems: ds.NumItems,
 			Stages: stages,
+			Admission: serve.AdmissionConfig{
+				RatePerSec:     o.rateLimit,
+				Burst:          o.rateBurst,
+				QueueDepth:     o.ingestQueue,
+				MaxSnapshotAge: o.maxSnapshotAge,
+			},
 			OnRate: func(rs []dataset.Rating) error {
 				if dir == nil {
 					return nil
@@ -308,11 +351,25 @@ func run(o daemonOpts) error {
 			Drained:  drained,
 			DrainErr: func() error { return drainErr },
 			Extra: func() map[string]any {
-				return map[string]any{
+				m := map[string]any{
 					"generation": generation.Load(),
 					"data_dir":   o.dataDir,
 					"resumed":    resumed,
 				}
+				if faultLog != nil {
+					c := faultLog.Counts()
+					m["scenario"] = sc.Name
+					m["faults"] = map[string]int64{
+						"dropped":         c.Dropped,
+						"delayed":         c.Delayed,
+						"duplicated":      c.Duplicated,
+						"reordered":       c.Reordered,
+						"partition_drops": c.PartitionDrops,
+						"leaves":          c.Leaves,
+						"rejoins":         c.Rejoins,
+					}
+				}
+				return m
 			},
 		})
 		if err != nil {

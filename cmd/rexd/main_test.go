@@ -6,16 +6,51 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"rex/internal/dataset"
 	"rex/internal/mf"
 	"rex/internal/rank"
+	"rex/internal/store"
 )
+
+// rexdBin builds the daemon binary once per test process, preferring a
+// race-instrumented build (the HTTP handlers race the training loop by
+// construction); tests that exec it share the artifact.
+var rexdBin struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+func buildRexd(t *testing.T) string {
+	t.Helper()
+	rexdBin.once.Do(func() {
+		dir, err := os.MkdirTemp("", "rexdbin")
+		if err != nil {
+			rexdBin.err = err
+			return
+		}
+		bin := filepath.Join(dir, "rexd")
+		if out, err := exec.Command("go", "build", "-race", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err != nil {
+			if out2, err2 := exec.Command("go", "build", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err2 != nil {
+				rexdBin.err = fmt.Errorf("cannot build rexd: %v\n%s\n%s", err2, out, out2)
+				return
+			}
+		}
+		rexdBin.path = bin
+	})
+	if rexdBin.err != nil {
+		t.Skipf("%v", rexdBin.err)
+	}
+	return rexdBin.path
+}
 
 // freePorts reserves n distinct localhost TCP ports. The listeners are
 // closed before returning, so a parallel process could in principle steal
@@ -99,17 +134,7 @@ func TestDaemonClusterServeResumeRejoin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and execs rexd")
 	}
-	bin := filepath.Join(t.TempDir(), "rexd")
-	// Prefer a race-instrumented daemon: the HTTP handlers race the
-	// training loop by construction, and an exec'd plain binary would hide
-	// any data race from CI. Fall back to a plain build on platforms
-	// without race support.
-	if out, err := exec.Command("go", "build", "-race", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err != nil {
-		t.Logf("race build unavailable (%v), building without -race:\n%s", err, out)
-		if out, err := exec.Command("go", "build", "-o", bin, "rex/cmd/rexd").CombinedOutput(); err != nil {
-			t.Skipf("cannot build rexd: %v\n%s", err, out)
-		}
-	}
+	bin := buildRexd(t)
 	gossip := freePorts(t, 2)
 	web := freePorts(t, 2)
 	nodesArg := strings.Join(gossip, ",")
@@ -286,6 +311,193 @@ func TestDaemonClusterServeResumeRejoin(t *testing.T) {
 		t.Fatalf("node 1 exit: %v", err)
 	}
 	t.Log("both daemons drained and exited 0")
+}
+
+// TestShedLeavesNoWALTrace is the admission-control durability contract
+// under crash: against a rate-limited daemon, some ratings are acked 200
+// (WAL append before the ack) and some shed 429 (turned away before any
+// write). After kill -9, the on-disk store must contain every acked
+// rating and no shed one, and a -resume restart must serve the acked
+// ones from its snapshot.
+func TestShedLeavesNoWALTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs rexd")
+	}
+	bin := buildRexd(t)
+	gossip := freePorts(t, 2)
+	web := freePorts(t, 2)
+	nodesArg := strings.Join(gossip, ",")
+	dirs := []string{t.TempDir(), t.TempDir()}
+	args := func(id int) []string {
+		a := []string{
+			"-id", fmt.Sprint(id),
+			"-nodes", nodesArg,
+			"-http", web[id],
+			"-data", dirs[id],
+			"-generations", "0",
+			"-gen-epochs", "2",
+			"-seed", "5", "-scale", "0.03", "-steps", "200", "-share", "40",
+			"-round-timeout", "750ms", "-peer-grace", "2",
+		}
+		if id == 0 {
+			// Tiny refill, tiny burst: a rapid burst of posts guarantees
+			// both acks and sheds on node 0.
+			a = append(a, "-rate-limit", "0.1", "-rate-burst", "3", "-ingest-queue", "16")
+		}
+		return a
+	}
+	d0 := startDaemon(t, bin, args(0)...)
+	d1 := startDaemon(t, bin, args(1)...)
+	defer func() {
+		d0.cmd.Process.Kill()
+		d1.cmd.Process.Kill()
+		if t.Failed() {
+			t.Logf("node 0 output:\n%s", d0.out.String())
+			t.Logf("node 1 output:\n%s", d1.out.String())
+		}
+	}()
+	waitStatus(t, web[0], "first snapshot", func(st map[string]any) bool {
+		return num(st, "epoch") >= 1
+	})
+
+	// Burst 20 distinct ratings at node 0: the first ~3 consume the burst
+	// tokens (200, WAL-appended), the rest shed 429 before any write.
+	type pair struct{ user, item uint32 }
+	acked := map[pair]bool{}
+	shed := map[pair]bool{}
+	for i := 0; i < 20; i++ {
+		p := pair{user: 900_000 + uint32(i), item: uint32(i % 5)}
+		resp, err := client.Post("http://"+web[0]+"/rate", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"user":%d,"item":%d,"value":4}`, p.user, p.item)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]any
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			acked[p] = true
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("429 without Retry-After (body %v)", body)
+			}
+			if body["reason"] != "rate_limited" && body["reason"] != "queue_full" {
+				t.Fatalf("429 reason %v", body["reason"])
+			}
+			shed[p] = true
+		default:
+			t.Fatalf("request %d: unexpected status %d (%v)", i, resp.StatusCode, body)
+		}
+	}
+	if len(acked) == 0 || len(shed) == 0 {
+		t.Fatalf("need both outcomes to test the invariant: %d acked, %d shed", len(acked), len(shed))
+	}
+	t.Logf("%d acked, %d shed", len(acked), len(shed))
+
+	// Crash node 0 hard — whatever is durable is exactly what the WAL and
+	// snapshots hold.
+	if err := d0.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d0.cmd.Wait()
+
+	dir, err := store.Open(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, replayed, err := dir.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir.Close()
+	durable := map[pair]bool{}
+	if snap != nil {
+		for _, r := range snap.Ratings {
+			durable[pair{r.User, r.Item}] = true
+		}
+	}
+	for _, r := range replayed {
+		durable[pair{r.User, r.Item}] = true
+	}
+	for p := range acked {
+		if !durable[p] {
+			t.Errorf("acked rating %+v missing from the post-crash store", p)
+		}
+	}
+	for p := range shed {
+		if durable[p] {
+			t.Errorf("shed rating %+v found in the post-crash store — 429 left a WAL trace", p)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	t.Log("post-crash store holds every acked rating and no shed one")
+
+	// Resume and verify the acked ratings reach the served snapshot.
+	d0b := startDaemon(t, bin, append(args(0), "-resume")...)
+	defer func() {
+		d0b.cmd.Process.Kill()
+		if t.Failed() {
+			t.Logf("node 0 (resumed) output:\n%s", d0b.out.String())
+		}
+	}()
+	waitStatus(t, web[0], "resumed node up", func(st map[string]any) bool {
+		return st["resumed"] == true
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var snapHTTP SnapshotHTTP
+		if code, err := getJSON(web[0], "/snapshot", &snapHTTP); err == nil && code == http.StatusOK {
+			ratings, _, err := dataset.DecodeRatings(snapHTTP.Ratings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[pair]bool{}
+			for _, r := range ratings {
+				got[pair{r.User, r.Item}] = true
+			}
+			missing := 0
+			for p := range acked {
+				if !got[p] {
+					missing++
+				}
+			}
+			for p := range shed {
+				if got[p] {
+					t.Fatalf("shed rating %+v resurfaced in the resumed snapshot", p)
+				}
+			}
+			if missing == 0 {
+				t.Log("resumed snapshot serves every acked rating, zero shed ones")
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resumed snapshot never caught up with the acked ratings")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Clean exit for both nodes.
+	drainClient := &http.Client{Timeout: 60 * time.Second}
+	for i, addr := range web {
+		resp, err := drainClient.Post("http://"+addr+"/drain", "application/json", nil)
+		if err != nil {
+			t.Fatalf("draining node %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("draining node %d: %d", i, resp.StatusCode)
+		}
+	}
+	if err := d0b.cmd.Wait(); err != nil {
+		t.Fatalf("node 0 exit: %v", err)
+	}
+	if err := d1.cmd.Wait(); err != nil {
+		t.Fatalf("node 1 exit: %v", err)
+	}
 }
 
 // SnapshotHTTP mirrors serve.SnapshotResponse (kept local so the test

@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"rex/internal/dataset"
+	"rex/internal/faultnet"
+	"rex/internal/loadgen"
+)
+
+// This file composes the chaos harness (internal/faultnet) with the
+// workload generator (internal/loadgen): one run drives a declarative
+// load spec into a cluster whose gossip links are degrading under a
+// seeded fault schedule, and the report proves two invariants — every
+// acked rating survives to the final snapshots (no accept-then-lose),
+// and the schedule digest equals the fault-free replay (faults degrade
+// delivery, never the workload).
+
+// ChaosLoadConfig parameterizes one chaos-load run.
+type ChaosLoadConfig struct {
+	// Spec is the workload (already resolved).
+	Spec *loadgen.Spec
+	// Scenario is the fault schedule injected under the load; nil runs
+	// fault-free (useful as the control arm).
+	Scenario *faultnet.Scenario
+	// TargetURLs switches to live mode: rexd base URLs, one per node.
+	// The daemons must have been started with the same -scenario (the
+	// runner injects faults only in sim mode, where it owns the engines).
+	TargetURLs []string
+	// Nodes is the sim-mode cluster size (default 2); ignored live.
+	Nodes int
+	// Workers is the dispatch concurrency (default 4).
+	Workers int
+	// Retries bounds per-event retries on 429/503/transport errors.
+	Retries int
+	// Timeout bounds each live request.
+	Timeout time.Duration
+	// SettleEpochs is how many epochs past the load's end the cluster
+	// gets to flush ingestion mailboxes into published snapshots before
+	// the accept-then-lose check reads them (default 2).
+	SettleEpochs int
+	// Out receives the human-readable summary; nil = discard.
+	Out io.Writer
+}
+
+// ChaosFaults is the report's fault-counter block, summed across nodes.
+type ChaosFaults struct {
+	Dropped        int64 `json:"dropped"`
+	Delayed        int64 `json:"delayed"`
+	Duplicated     int64 `json:"duplicated"`
+	Reordered      int64 `json:"reordered"`
+	PartitionDrops int64 `json:"partition_drops"`
+	Leaves         int64 `json:"leaves"`
+	Rejoins        int64 `json:"rejoins"`
+}
+
+// ChaosLoadReport is the BENCH_chaosload.json schema: the loadgen report
+// plus the chaos arm's invariant evidence.
+type ChaosLoadReport struct {
+	Note     string `json:"note,omitempty"`
+	Recorded string `json:"recorded,omitempty"`
+	// Scenario names the injected fault schedule ("" = fault-free).
+	Scenario string `json:"scenario"`
+	// FaultFreeDigest is the schedule digest the generator derives a
+	// priori — by construction the digest of a fault-free replay. The
+	// gate checks it equals the dispatched ScheduleDigest: faults must
+	// not perturb the workload.
+	FaultFreeDigest string `json:"fault_free_digest"`
+	// AckedRatings is the number of distinct (user, item) pairs the
+	// cluster acked 2xx on /rate; AckedLost counts those missing from
+	// the final snapshots. The no-accept-then-lose invariant is
+	// AckedLost == 0.
+	AckedRatings  uint64 `json:"acked_ratings"`
+	AckedSurvived uint64 `json:"acked_survived"`
+	AckedLost     uint64 `json:"acked_lost"`
+	// ShedFraction is shed events over all events (Outcomes.Shed/total).
+	ShedFraction float64 `json:"shed_fraction"`
+	// Faults counts injected gossip faults, summed across nodes.
+	Faults ChaosFaults `json:"faults"`
+	*loadgen.Report
+}
+
+// ackTracker decorates a Target and records the (user, item) pair of
+// every write acked 2xx — including retried attempts — for the
+// accept-then-lose check. The store dedups on (user, item), so pair
+// presence in a final snapshot is exactly the durable fact an ack
+// promised.
+type ackTracker struct {
+	inner loadgen.Target
+	mu    sync.Mutex
+	acked map[uint64]bool
+}
+
+func newAckTracker(inner loadgen.Target) *ackTracker {
+	return &ackTracker{inner: inner, acked: make(map[uint64]bool)}
+}
+
+func ackKey(user, item uint32) uint64 { return uint64(user)<<32 | uint64(item) }
+
+func (a *ackTracker) Do(ev loadgen.Event) (int, error) {
+	status, err := a.inner.Do(ev)
+	if err == nil && ev.Kind == loadgen.Write && status >= 200 && status < 300 {
+		a.mu.Lock()
+		a.acked[ackKey(ev.User, ev.Item)] = true
+		a.mu.Unlock()
+	}
+	return status, err
+}
+
+func (a *ackTracker) EndTick(t int) error { return a.inner.EndTick(t) }
+
+func (a *ackTracker) Finish() (*loadgen.ServerMetrics, error) { return a.inner.Finish() }
+
+// NumItems forwards the preflight to the wrapped target.
+func (a *ackTracker) NumItems() (int, error) {
+	if cr, ok := a.inner.(loadgen.CatalogReporter); ok {
+		return cr.NumItems()
+	}
+	return 0, nil
+}
+
+// RunChaosLoad executes the workload under the fault schedule and
+// verifies the acked-rating survival invariant against the cluster's
+// final snapshots.
+func RunChaosLoad(cfg ChaosLoadConfig) (*ChaosLoadReport, error) {
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("experiments: chaos-load spec is required")
+	}
+	settle := cfg.SettleEpochs
+	if settle <= 0 {
+		settle = 2
+	}
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	scName := ""
+	if cfg.Scenario != nil {
+		scName = cfg.Scenario.Name
+	}
+
+	// The a-priori digest: what a fault-free replay of this spec yields.
+	faultFree := fmt.Sprintf("%016x", loadgen.NewGen(cfg.Spec).ScheduleDigest())
+
+	var rep *loadgen.Report
+	var tracker *ackTracker
+	var final map[uint64]bool
+	var faults ChaosFaults
+	mode := "sim"
+
+	if len(cfg.TargetURLs) > 0 {
+		mode = "live"
+		nodes = len(cfg.TargetURLs)
+		tgt, err := loadgen.NewHTTPTarget(cfg.TargetURLs, cfg.Spec.TickMillis, cfg.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		tracker = newAckTracker(tgt)
+		fmt.Fprintf(out, "chaos-load %q x scenario %q: live, %d nodes\n", cfg.Spec.Name, scName, nodes)
+		rep, err = loadgen.Run(cfg.Spec, tracker, mode, nodes, loadgen.Options{
+			Workers: cfg.Workers, Retries: cfg.Retries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		final, faults, err = scrapeLiveFinal(cfg.TargetURLs, settle, cfg.Timeout)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		log := &faultnet.Log{}
+		cluster, err := loadgen.NewEngineClusterOpts(cfg.Spec, nodes, loadgen.ClusterOptions{
+			Scenario: cfg.Scenario, FaultLog: log, SettleEpochs: settle,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tracker = newAckTracker(cluster)
+		fmt.Fprintf(out, "chaos-load %q x scenario %q: sim, %d nodes\n", cfg.Spec.Name, scName, nodes)
+		rep, err = loadgen.Run(cfg.Spec, tracker, mode, nodes, loadgen.Options{
+			Workers: cfg.Workers, Retries: cfg.Retries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Finish (inside Run) settled and stopped the engines; their
+		// published snapshots persist past Stop.
+		final = cluster.FinalRatings()
+		c := log.Counts()
+		faults = ChaosFaults{
+			Dropped: c.Dropped, Delayed: c.Delayed, Duplicated: c.Duplicated,
+			Reordered: c.Reordered, PartitionDrops: c.PartitionDrops,
+			Leaves: c.Leaves, Rejoins: c.Rejoins,
+		}
+	}
+
+	var survived, lost uint64
+	tracker.mu.Lock()
+	for key := range tracker.acked {
+		if final[key] {
+			survived++
+		} else {
+			lost++
+		}
+	}
+	acked := uint64(len(tracker.acked))
+	tracker.mu.Unlock()
+
+	cl := &ChaosLoadReport{
+		Scenario:        scName,
+		FaultFreeDigest: faultFree,
+		AckedRatings:    acked,
+		AckedSurvived:   survived,
+		AckedLost:       lost,
+		ShedFraction:    rep.Outcomes.ShedFraction(),
+		Faults:          faults,
+		Report:          rep,
+	}
+	o := rep.Outcomes
+	fmt.Fprintf(out, "%d events, digest %s (fault-free %s)\n", rep.Events, rep.ScheduleDigest, faultFree)
+	fmt.Fprintf(out, "outcomes: %d accepted, %d retried-ok, %d shed (%.1f%%), %d rejected, %d failed, %d retries\n",
+		o.Accepted, o.RetriedOK, o.Shed, 100*cl.ShedFraction, o.Rejected, o.Failed, o.Retries)
+	fmt.Fprintf(out, "acked ratings: %d, survived %d, lost %d\n", acked, survived, lost)
+	fmt.Fprintf(out, "faults: %d dropped (%d partition), %d delayed, %d dup, %d reordered, %d leaves, %d rejoins\n",
+		faults.Dropped, faults.PartitionDrops, faults.Delayed, faults.Duplicated,
+		faults.Reordered, faults.Leaves, faults.Rejoins)
+	if lost > 0 {
+		return cl, fmt.Errorf("experiments: accept-then-lose violation: %d acked ratings missing from final snapshots", lost)
+	}
+	return cl, nil
+}
+
+// scrapeLiveFinal waits for every live node's published snapshot to
+// advance `settle` epochs past where the load left it (so mailbox-
+// buffered ratings are snapshot-visible), then unions the clusters'
+// /snapshot ratings and sums the /status fault counters.
+func scrapeLiveFinal(urls []string, settle int, timeout time.Duration) (map[uint64]bool, ChaosFaults, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	var faults ChaosFaults
+
+	type statusView struct {
+		SnapshotEpoch int `json:"snapshot_epoch"`
+		Faults        *struct {
+			Dropped        int64 `json:"dropped"`
+			Delayed        int64 `json:"delayed"`
+			Duplicated     int64 `json:"duplicated"`
+			Reordered      int64 `json:"reordered"`
+			PartitionDrops int64 `json:"partition_drops"`
+			Leaves         int64 `json:"leaves"`
+			Rejoins        int64 `json:"rejoins"`
+		} `json:"faults"`
+	}
+	getStatus := func(base string) (statusView, error) {
+		var st statusView
+		resp, err := client.Get(base + "/status")
+		if err != nil {
+			return st, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("%s/status: %d", base, resp.StatusCode)
+		}
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	}
+
+	// Baseline epochs, then poll until each node advances by settle. The
+	// deadline is generous: lossy scenarios stretch rounds via timeouts.
+	base := make([]int, len(urls))
+	for i, u := range urls {
+		st, err := getStatus(u)
+		if err != nil {
+			return nil, faults, fmt.Errorf("settling: %w", err)
+		}
+		base[i] = st.SnapshotEpoch
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for i, u := range urls {
+		for {
+			st, err := getStatus(u)
+			if err != nil {
+				return nil, faults, fmt.Errorf("settling: %w", err)
+			}
+			if st.SnapshotEpoch >= base[i]+settle {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, faults, fmt.Errorf("settling: %s stuck at snapshot epoch %d (started %d, want +%d)",
+					u, st.SnapshotEpoch, base[i], settle)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	final := make(map[uint64]bool)
+	for _, u := range urls {
+		st, err := getStatus(u)
+		if err != nil {
+			return nil, faults, err
+		}
+		if f := st.Faults; f != nil {
+			faults.Dropped += f.Dropped
+			faults.Delayed += f.Delayed
+			faults.Duplicated += f.Duplicated
+			faults.Reordered += f.Reordered
+			faults.PartitionDrops += f.PartitionDrops
+			faults.Leaves += f.Leaves
+			faults.Rejoins += f.Rejoins
+		}
+		resp, err := client.Get(u + "/snapshot")
+		if err != nil {
+			return nil, faults, fmt.Errorf("scraping %s/snapshot: %w", u, err)
+		}
+		var snap struct {
+			Ratings []byte `json:"ratings"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return nil, faults, fmt.Errorf("decoding %s/snapshot: %w", u, err)
+		}
+		rs, _, err := dataset.DecodeRatings(snap.Ratings)
+		if err != nil {
+			return nil, faults, fmt.Errorf("decoding %s/snapshot ratings: %w", u, err)
+		}
+		for _, r := range rs {
+			final[ackKey(r.User, r.Item)] = true
+		}
+	}
+	return final, faults, nil
+}
+
+// WriteChaosLoadReport writes the report as indented JSON to path.
+func WriteChaosLoadReport(rep *ChaosLoadReport, path string) error {
+	rep.Note = "chaos-load replay: workload schedule and fault schedule are both pure hashes of their " +
+		"seeds; acked ratings are checked for survival into final snapshots (no accept-then-lose); " +
+		"shed events (429/503) left no WAL trace by construction"
+	rep.Recorded = time.Now().UTC().Format("2006-01-02")
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"rex/internal/faultnet"
+	"rex/internal/loadgen"
+)
+
+// TestChaosLoadSimInvariants runs the full chaos-load composition in sim
+// mode — workload replay under an injected fault schedule — and checks
+// the report's invariants: the dispatched schedule matches the fault-free
+// digest, every acked rating survives to the final snapshots, and the
+// outcome accounting covers every event exactly once.
+func TestChaosLoadSimInvariants(t *testing.T) {
+	spec := &loadgen.Spec{
+		Name: "chaos-tiny", Seed: 9,
+		Users: 30, Items: 25, Ticks: 3,
+		RatePerUserTick: 0.6, ZipfS: 0.8, QueryFraction: 0.4,
+	}
+	sc, err := faultnet.Resolve("lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunChaosLoad(ChaosLoadConfig{
+		Spec: spec, Scenario: sc, Nodes: 2, Workers: 2, Out: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScheduleDigest != rep.FaultFreeDigest {
+		t.Fatalf("digest %s != fault-free %s — faults perturbed the schedule",
+			rep.ScheduleDigest, rep.FaultFreeDigest)
+	}
+	if rep.AckedRatings == 0 {
+		t.Fatal("no acked ratings — the workload never reached the cluster")
+	}
+	if rep.AckedLost != 0 || rep.AckedSurvived != rep.AckedRatings {
+		t.Fatalf("accept-then-lose: %d acked, %d survived, %d lost",
+			rep.AckedRatings, rep.AckedSurvived, rep.AckedLost)
+	}
+	o := rep.Outcomes
+	if sum := o.Accepted + o.RetriedOK + o.Shed + o.Rejected + o.Failed; sum != rep.Events {
+		t.Fatalf("outcome sum %d != events %d", sum, rep.Events)
+	}
+	if o.Rejected != 0 {
+		t.Fatalf("%d validation rejects — the preflight should make these impossible", o.Rejected)
+	}
+	if rep.Scenario != "lossy" {
+		t.Fatalf("scenario %q, want lossy", rep.Scenario)
+	}
+}

@@ -29,6 +29,10 @@ type LoadConfig struct {
 	Nodes int
 	// Workers is the dispatch concurrency (default 4).
 	Workers int
+	// Retries bounds per-event retries on 429/503/transport errors.
+	Retries int
+	// Timeout bounds each live request (0 = the target's 30s default).
+	Timeout time.Duration
 	// Out receives the human-readable tables; nil = discard.
 	Out io.Writer
 }
@@ -52,7 +56,7 @@ func RunLoad(cfg LoadConfig) (*loadgen.Report, error) {
 	if len(cfg.TargetURLs) > 0 {
 		mode = "live"
 		nodes = len(cfg.TargetURLs)
-		t, err := loadgen.NewHTTPTarget(cfg.TargetURLs, cfg.Spec.TickMillis)
+		t, err := loadgen.NewHTTPTarget(cfg.TargetURLs, cfg.Spec.TickMillis, cfg.Timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -67,12 +71,17 @@ func RunLoad(cfg LoadConfig) (*loadgen.Report, error) {
 
 	fmt.Fprintf(out, "workload %q: %d users, %d items, %d ticks, %s mode, %d nodes\n",
 		cfg.Spec.Name, cfg.Spec.Users, cfg.Spec.Items, cfg.Spec.Ticks, mode, nodes)
-	rep, err := loadgen.Run(cfg.Spec, tgt, mode, nodes, loadgen.Options{Workers: cfg.Workers})
+	rep, err := loadgen.Run(cfg.Spec, tgt, mode, nodes, loadgen.Options{
+		Workers: cfg.Workers, Retries: cfg.Retries,
+	})
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(out, "%d events in %s (%.0f events/s), schedule digest %s\n\n",
+	fmt.Fprintf(out, "%d events in %s (%.0f events/s), schedule digest %s\n",
 		rep.Events, metrics.FormatSeconds(rep.WallSec), rep.EventsPerSec, rep.ScheduleDigest)
+	o := rep.Outcomes
+	fmt.Fprintf(out, "outcomes: %d accepted, %d retried-ok, %d shed (%.1f%%), %d rejected, %d failed, %d retries\n\n",
+		o.Accepted, o.RetriedOK, o.Shed, 100*o.ShedFraction(), o.Rejected, o.Failed, o.Retries)
 
 	lat := metrics.NewTable("Endpoint", "View", "Requests", "OK", "Rejected", "p50 / p95 / p99", "Mean")
 	addRow := func(name, view string, er loadgen.EndpointReport) {

@@ -26,10 +26,15 @@ type HTTPTarget struct {
 
 // NewHTTPTarget builds a live-cluster target from base URLs (e.g.
 // "http://127.0.0.1:8800,http://127.0.0.1:8801"). tickMillis paces
-// replay; 0 replays as fast as the cluster accepts.
-func NewHTTPTarget(urls []string, tickMillis int) (*HTTPTarget, error) {
+// replay; 0 replays as fast as the cluster accepts. timeout bounds each
+// request (connect through body; 0 = 30s) so one wedged node turns into
+// a counted failure, not a stuck run.
+func NewHTTPTarget(urls []string, tickMillis int, timeout time.Duration) (*HTTPTarget, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("loadgen: no target urls")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
 	}
 	clean := make([]string, len(urls))
 	for i, u := range urls {
@@ -44,10 +49,36 @@ func NewHTTPTarget(urls []string, tickMillis int) (*HTTPTarget, error) {
 	}
 	return &HTTPTarget{
 		urls:       clean,
-		client:     &http.Client{Timeout: 30 * time.Second},
+		client:     &http.Client{Timeout: timeout},
 		tickMillis: tickMillis,
 		start:      time.Now(),
 	}, nil
+}
+
+// NumItems implements CatalogReporter: the smallest num_items across the
+// cluster's /status responses — the binding constraint for routed
+// writes. An unreachable node is an error (the run would fail anyway);
+// a node that omits the field is skipped.
+func (h *HTTPTarget) NumItems() (int, error) {
+	min := 0
+	for _, base := range h.urls {
+		resp, err := h.client.Get(base + "/status")
+		if err != nil {
+			return 0, fmt.Errorf("probing %s/status: %w", base, err)
+		}
+		var st struct {
+			NumItems int `json:"num_items"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("decoding %s/status: %w", base, err)
+		}
+		if st.NumItems > 0 && (min == 0 || st.NumItems < min) {
+			min = st.NumItems
+		}
+	}
+	return min, nil
 }
 
 // Do implements Target: one real HTTP request, routed by user.

@@ -225,7 +225,7 @@ func TestSimVsLiveReplay(t *testing.T) {
 		defer ts.Close()
 		urls = append(urls, ts.URL)
 	}
-	tgt, err := NewHTTPTarget(urls, 0)
+	tgt, err := NewHTTPTarget(urls, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

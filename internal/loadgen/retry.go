@@ -1,0 +1,71 @@
+// Retry policy for load runs. Backoff offsets are a pure function of the
+// event hash and the attempt number — no RNG state threads through the
+// runner — so a retried schedule is as replayable as the original one:
+// the same event sheds at the same point, backs off by the same offsets,
+// and the schedule digest (which fingerprints generated events, not
+// dispatch attempts) is unchanged.
+package loadgen
+
+import "time"
+
+// saltRetry separates the backoff-jitter hash stream from the schedule's
+// decision streams in events.go.
+const saltRetry = 0x2545F4914F6CDD1D
+
+// Retryable reports whether an attempt's outcome warrants a retry:
+// transport errors (err != nil), 429 (admission shed) and 503 (stale
+// snapshot / not started). Validation rejects (400), other client
+// errors, and hard server errors (500) are final — retrying them would
+// replay the same failure.
+func Retryable(status int, err error) bool {
+	return err != nil || status == 429 || status == 503
+}
+
+// RetryBackoff is the wait before retry attempt `attempt` (1 = first
+// retry) of event ev: exponential base<<(attempt-1) plus deterministic
+// jitter in [0, jitter) hashed from (event digest, attempt). Same event,
+// same attempt → same offset, on any worker, in any run.
+func RetryBackoff(ev Event, attempt int, base, jitter time.Duration) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	if attempt > 16 {
+		attempt = 16 // clamp the shift; 16 doublings is already minutes
+	}
+	d := base << (attempt - 1)
+	if jitter > 0 {
+		h := mix64(ev.Digest() ^ saltRetry ^ uint64(attempt)*0x9E3779B97F4A7C15)
+		d += time.Duration(unitFloat(h) * float64(jitter))
+	}
+	return d
+}
+
+// Outcomes counts events (not attempts) by how they ended. Shed vs
+// failed vs retried-then-succeeded is the report's view of graceful
+// degradation: a run where everything lands in Shed+RetriedOK degraded
+// politely; Failed means the transport or the server broke.
+type Outcomes struct {
+	// Accepted succeeded on the first attempt (2xx).
+	Accepted uint64 `json:"accepted"`
+	// RetriedOK succeeded after at least one retry.
+	RetriedOK uint64 `json:"retried_ok"`
+	// Shed ended 429/503 with retry budget exhausted — the server turned
+	// the event away without side effects.
+	Shed uint64 `json:"shed"`
+	// Rejected ended with a non-retryable client error (400 validation).
+	Rejected uint64 `json:"rejected"`
+	// Failed ended in a transport error or a non-retryable server error.
+	Failed uint64 `json:"failed"`
+	// Retries is the total number of retry attempts across all events.
+	Retries uint64 `json:"retries"`
+}
+
+// ShedFraction is Shed over all events, the chaos-load gate's headline
+// number.
+func (o Outcomes) ShedFraction() float64 {
+	total := o.Accepted + o.RetriedOK + o.Shed + o.Rejected + o.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(o.Shed) / float64(total)
+}

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rex/internal/metrics"
@@ -23,6 +24,17 @@ type Target interface {
 	// Finish ends the run and returns the server-side metrics scrape
 	// (merged across nodes), nil if the target has none.
 	Finish() (*ServerMetrics, error)
+}
+
+// CatalogReporter is an optional Target extension: targets that know
+// their serving catalog size report it so Run can fail fast when the
+// spec's item universe exceeds it. Without the preflight, every write to
+// an out-of-catalog item comes back 400 and a live run silently loses a
+// slice of its schedule (the PR 9 caveat).
+type CatalogReporter interface {
+	// NumItems returns the smallest catalog size across the target's
+	// nodes, or 0 if unknown (which skips the preflight).
+	NumItems() (int, error)
 }
 
 // ServerMetrics is the merged server-side view scraped from the
@@ -48,6 +60,17 @@ type Options struct {
 	// event schedule is independent of it; only dispatch interleaving
 	// changes.
 	Workers int
+	// Retries bounds how many times a retryable outcome (transport
+	// error, 429, 503) is retried per event. 0 = no retries.
+	Retries int
+	// RetryBase is the exponential backoff base (default 50ms when
+	// Retries > 0). The wait before retry k is RetryBase<<(k-1) plus
+	// jitter.
+	RetryBase time.Duration
+	// RetryJitter bounds the per-attempt deterministic jitter added to
+	// the backoff (default = RetryBase). Derived from the event hash —
+	// see RetryBackoff.
+	RetryJitter time.Duration
 }
 
 // LatencySummary is the report form of a histogram.
@@ -98,8 +121,13 @@ type Report struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	// ScheduleDigest fingerprints the event schedule (hex): equal
 	// digests = identical schedules, across worker counts and across
-	// sim vs live replay.
+	// sim vs live replay. Retries and sheds don't perturb it — it
+	// fingerprints generated events, not dispatch attempts.
 	ScheduleDigest string `json:"schedule_digest"`
+	// Outcomes counts events by how they ended: accepted first try,
+	// retried-then-succeeded, shed (429/503, budget exhausted),
+	// rejected (400), or failed (transport / hard server error).
+	Outcomes Outcomes `json:"outcomes"`
 	// Client holds client-observed request latency per endpoint
 	// ("rate", "recommend"), including queueing and transport.
 	Client map[string]EndpointReport `json:"client"`
@@ -122,17 +150,40 @@ func Run(spec *Spec, tgt Target, mode string, nodes int, opt Options) (*Report, 
 	if workers <= 0 {
 		workers = 4
 	}
+	retryBase := opt.RetryBase
+	if opt.Retries > 0 && retryBase <= 0 {
+		retryBase = 50 * time.Millisecond
+	}
+	retryJitter := opt.RetryJitter
+	if opt.Retries > 0 && retryJitter <= 0 {
+		retryJitter = retryBase
+	}
+	// Preflight: a spec whose item universe exceeds the target's catalog
+	// would have every out-of-catalog write rejected 400 — fail fast
+	// with the fix instead of silently losing a slice of the schedule.
+	if cr, ok := tgt.(CatalogReporter); ok {
+		n, err := cr.NumItems()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: preflight catalog check: %w", err)
+		}
+		if n > 0 && spec.Items > n {
+			return nil, fmt.Errorf(
+				"loadgen: spec item universe (%d items) exceeds the target catalog (%d items): "+
+					"writes to items >= %d would be rejected 400 and silently lost — "+
+					"regenerate the daemon dataset with a larger -scale, or shrink the spec's \"items\"",
+				spec.Items, n, n)
+		}
+	}
 	gen := NewGen(spec)
 
 	var rateHist, queryHist metrics.Hist
 	statuses := map[Kind]map[int]uint64{Write: {}, Query: {}}
 	var statusMu sync.Mutex
 	var digest, events uint64
+	var outAccepted, outRetriedOK, outShed, outRejected, outFailed, outRetries atomic.Uint64
 
 	start := time.Now()
 	var buf []Event
-	var firstErr error
-	var errMu sync.Mutex
 	for t := 0; t < spec.Ticks; t++ {
 		buf = gen.EventsAt(t, buf[:0])
 		for _, ev := range buf {
@@ -149,32 +200,53 @@ func Run(spec *Spec, tgt Target, mode string, nodes int, opt Options) (*Report, 
 				defer wg.Done()
 				for i := w; i < len(buf); i += workers {
 					ev := buf[i]
-					reqStart := time.Now()
-					status, err := tgt.Do(ev)
-					elapsed := time.Since(reqStart)
-					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("loadgen: tick %d event %d: %w", t, i, err)
+					// Bounded retry: histograms and status counts see
+					// every attempt (they measure traffic), outcome
+					// counters see each event once (they classify it).
+					var status int
+					var err error
+					attempts := 0
+					for {
+						attempts++
+						reqStart := time.Now()
+						status, err = tgt.Do(ev)
+						elapsed := time.Since(reqStart)
+						statusMu.Lock()
+						statuses[ev.Kind][status]++ // transport errors count as status 0
+						statusMu.Unlock()
+						if err == nil {
+							if ev.Kind == Query {
+								queryHist.Observe(elapsed)
+							} else {
+								rateHist.Observe(elapsed)
+							}
 						}
-						errMu.Unlock()
-						continue
+						if !Retryable(status, err) || attempts > opt.Retries {
+							break
+						}
+						time.Sleep(RetryBackoff(ev, attempts, retryBase, retryJitter))
 					}
-					if ev.Kind == Query {
-						queryHist.Observe(elapsed)
-					} else {
-						rateHist.Observe(elapsed)
+					outRetries.Add(uint64(attempts - 1))
+					switch {
+					case err != nil:
+						outFailed.Add(1)
+					case status >= 200 && status < 300:
+						if attempts > 1 {
+							outRetriedOK.Add(1)
+						} else {
+							outAccepted.Add(1)
+						}
+					case status == 429 || status == 503:
+						outShed.Add(1)
+					case status >= 400 && status < 500:
+						outRejected.Add(1)
+					default:
+						outFailed.Add(1)
 					}
-					statusMu.Lock()
-					statuses[ev.Kind][status]++
-					statusMu.Unlock()
 				}
 			}(w)
 		}
 		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
 		if err := tgt.EndTick(t); err != nil {
 			return nil, fmt.Errorf("loadgen: tick %d: %w", t, err)
 		}
@@ -185,6 +257,14 @@ func Run(spec *Spec, tgt Target, mode string, nodes int, opt Options) (*Report, 
 		Spec: spec, Mode: mode, Nodes: nodes, Workers: workers,
 		WallSec: wall, Events: events,
 		ScheduleDigest: fmt.Sprintf("%016x", digest),
+		Outcomes: Outcomes{
+			Accepted:  outAccepted.Load(),
+			RetriedOK: outRetriedOK.Load(),
+			Shed:      outShed.Load(),
+			Rejected:  outRejected.Load(),
+			Failed:    outFailed.Load(),
+			Retries:   outRetries.Load(),
+		},
 		Client: map[string]EndpointReport{
 			"rate":      {LatencySummary: summarize(rateHist.Snapshot()), Statuses: statuses[Write]},
 			"recommend": {LatencySummary: summarize(queryHist.Snapshot()), Statuses: statuses[Query]},

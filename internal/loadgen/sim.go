@@ -9,6 +9,7 @@ import (
 
 	"rex/internal/core"
 	"rex/internal/dataset"
+	"rex/internal/faultnet"
 	"rex/internal/gossip"
 	"rex/internal/metrics"
 	"rex/internal/mf"
@@ -26,8 +27,31 @@ import (
 // engine one training epoch in lockstep, making one tick = one epoch.
 type EngineCluster struct {
 	spec    *Spec
+	opts    ClusterOptions
 	nodes   []*simNode
 	stopped bool
+}
+
+// ClusterOptions extends the sim cluster for chaos-load runs.
+type ClusterOptions struct {
+	// Scenario, when non-nil and enabled, injects the faultnet schedule
+	// into every engine's gossip endpoint — the same wrapper a live rexd
+	// applies, so sim and live degrade under identical fault schedules.
+	Scenario *faultnet.Scenario
+	// FaultLog, when set with Scenario, collects the injected faults for
+	// the report's fault counters.
+	FaultLog *faultnet.Log
+	// Admission configures the serving edge's overload gates on every
+	// node. Sim ticks run unpaced (EndTick trains instead of sleeping),
+	// so time-based rate limits would shed almost everything — leave the
+	// zero value for throughput runs and set it only in tests that
+	// exercise the gates.
+	Admission serve.AdmissionConfig
+	// SettleEpochs is how many extra lockstep epochs Finish runs after
+	// the last tick before scraping, so mailbox-buffered ratings reach
+	// the published snapshots the accept-then-lose check reads.
+	// Default 2.
+	SettleEpochs int
 }
 
 // simNode is one engine plus its serving layer and protocol goroutine.
@@ -57,15 +81,23 @@ const simEpochSteps = 40
 // items within the spec's catalog), then runs one warm-up epoch so every
 // node has a published snapshot before the first query arrives.
 func NewEngineCluster(spec *Spec, n int) (*EngineCluster, error) {
+	return NewEngineClusterOpts(spec, n, ClusterOptions{})
+}
+
+// NewEngineClusterOpts is NewEngineCluster with chaos-load options.
+func NewEngineClusterOpts(spec *Spec, n int, opts ClusterOptions) (*EngineCluster, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if n < 2 {
 		return nil, fmt.Errorf("loadgen: sim cluster needs at least 2 nodes (got %d)", n)
 	}
+	if opts.SettleEpochs <= 0 {
+		opts.SettleEpochs = 2
+	}
 	eps := runtime.NewChanNet(n)
 	mcfg := mf.DefaultConfig()
-	c := &EngineCluster{spec: spec}
+	c := &EngineCluster{spec: spec, opts: opts}
 	for i := 0; i < n; i++ {
 		// Ring neighbors keep gossip volume O(1) per node regardless of
 		// cluster size; the ChanNet mesh carries any pair anyway.
@@ -79,17 +111,22 @@ func NewEngineCluster(spec *Spec, n int) (*EngineCluster, error) {
 			ID: i, Mode: core.DataSharing, Algo: gossip.DPSGD,
 			StepsPerEpoch: simEpochSteps, SharePoints: 50, Seed: int64(spec.Seed),
 		}, mf.New(mcfg), simRatings(spec, n, i), nil)
-		eng, err := runtime.NewEngine(runtime.Config{
+		rcfg := runtime.Config{
 			Node: node, Endpoint: eps[i], Neighbors: neighbors,
 			NewModel: func() model.Model { return mf.New(mcfg) },
 			Publish:  true,
-		})
+		}
+		if opts.Scenario != nil && opts.Scenario.Enabled() {
+			opts.Scenario.ApplyRun(&rcfg, opts.FaultLog)
+		}
+		eng, err := runtime.NewEngine(rcfg)
 		if err != nil {
 			return nil, err
 		}
 		stages := metrics.NewStageSet()
 		srv, err := serve.New(serve.Config{
 			Node: eng, ID: i, NumItems: spec.Items, Stages: stages,
+			Admission: opts.Admission,
 		})
 		if err != nil {
 			return nil, err
@@ -252,9 +289,36 @@ func (c *EngineCluster) Do(ev Event) (int, error) {
 // EndTick implements Target: one training epoch across the cluster.
 func (c *EngineCluster) EndTick(int) error { return c.stepAll() }
 
-// Finish implements Target: scrape every node's /metrics through the
-// same handler a live deployment serves, merge, and stop the engines.
+// NumItems implements CatalogReporter: the sim cluster serves exactly
+// the spec's catalog, so the preflight always passes.
+func (c *EngineCluster) NumItems() (int, error) { return c.spec.Items, nil }
+
+// FinalRatings returns the union of every node's published snapshot
+// ratings, keyed (user, item) — the store dedups on that pair, so
+// presence is the durable fact the accept-then-lose check verifies.
+func (c *EngineCluster) FinalRatings() map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, sn := range c.nodes {
+		snap := sn.eng.Snapshot()
+		if snap == nil {
+			continue
+		}
+		for _, r := range snap.Ratings {
+			out[uint64(r.User)<<32|uint64(r.Item)] = true
+		}
+	}
+	return out
+}
+
+// Finish implements Target: settle (so mailbox-buffered ratings reach
+// published snapshots), scrape every node's /metrics through the same
+// handler a live deployment serves, merge, and stop the engines.
 func (c *EngineCluster) Finish() (*ServerMetrics, error) {
+	for i := 0; i < c.opts.SettleEpochs && !c.stopped; i++ {
+		if err := c.stepAll(); err != nil {
+			return nil, err
+		}
+	}
 	merged := newServerMetrics()
 	for _, sn := range c.nodes {
 		w, err := dispatch(sn.srv, http.MethodGet, "/metrics", nil)

@@ -1,0 +1,245 @@
+// Admission control for the serving edge: a token-bucket rate limit and a
+// bounded in-flight queue ahead of the /rate durability path, and a
+// staleness bound on /recommend. Under a flash crowd the WAL fsync is the
+// expensive resource — without a gate, every over-limit request still pays
+// a WAL append before the caller learns the node is drowning, and the
+// backlog grows without bound. The gate sheds *before* any side effect: a
+// 429 response is a promise that the rating left no WAL trace and was
+// never ingested, so a shed-then-crash can never resurrect a rating the
+// client was told to retry.
+package serve
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig tunes the serving edge's overload protection. The zero
+// value disables every gate (the pre-admission behavior).
+type AdmissionConfig struct {
+	// RatePerSec is the token-bucket refill rate for POST /rate requests;
+	// each admitted request consumes one token. 0 = unlimited.
+	RatePerSec float64
+	// Burst is the bucket capacity — the largest instantaneous spike
+	// admitted at full rate. Defaults to ceil(RatePerSec), min 1.
+	Burst int
+	// QueueDepth bounds how many /rate requests may be inside the
+	// WAL-append + ingest section concurrently; requests beyond it are
+	// shed 429 instead of queuing on the WAL lock. 0 = unbounded.
+	QueueDepth int
+	// MaxSnapshotAge sheds GET /recommend with 503 when the served
+	// snapshot has not advanced for longer than this — a node whose
+	// training loop stalled (partitioned, draining, wedged) serves
+	// increasingly stale rankings, and past the bound a client is better
+	// off retrying another replica. 0 = never shed.
+	MaxSnapshotAge time.Duration
+}
+
+// Enabled reports whether any gate is configured.
+func (c AdmissionConfig) Enabled() bool {
+	return c.RatePerSec > 0 || c.QueueDepth > 0 || c.MaxSnapshotAge > 0
+}
+
+// Shed reasons, surfaced in the structured 429/503 body and counted in
+// /metrics.
+const (
+	ShedRateLimited = "rate_limited"
+	ShedQueueFull   = "queue_full"
+	ShedStale       = "stale_snapshot"
+)
+
+// admission is the runtime state of the gates. All methods are safe for
+// concurrent use; the token bucket and queue share one short mutex (two
+// arithmetic ops per request), counters are atomics read by /metrics.
+type admission struct {
+	cfg AdmissionConfig
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	tokens   float64
+	lastFill time.Time
+	inflight int
+	queueHWM int
+
+	// Snapshot staleness tracking: the epoch last seen on /recommend and
+	// when it first appeared.
+	staleEpoch int
+	staleSeen  time.Time
+
+	accepted  atomic.Uint64
+	shedRate  atomic.Uint64
+	shedQueue atomic.Uint64
+	shedStale atomic.Uint64
+}
+
+func newAdmission(cfg AdmissionConfig, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.RatePerSec > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(math.Ceil(cfg.RatePerSec))
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &admission{
+		cfg:        cfg,
+		now:        now,
+		tokens:     float64(cfg.Burst), // start full: a fresh node admits its burst
+		lastFill:   now(),
+		staleEpoch: -1,
+	}
+}
+
+// admitRate runs the /rate gates in cost order: the token bucket first
+// (two float ops), then the queue slot. On admission it returns a release
+// func the handler must call once the WAL+ingest section is done; on shed
+// it returns a nil release with the reason and a Retry-After hint.
+func (a *admission) admitRate() (release func(), reason string, retryAfter time.Duration) {
+	if a == nil {
+		return func() {}, "", 0
+	}
+	a.mu.Lock()
+	if a.cfg.RatePerSec > 0 {
+		now := a.now()
+		a.tokens += now.Sub(a.lastFill).Seconds() * a.cfg.RatePerSec
+		if max := float64(a.cfg.Burst); a.tokens > max {
+			a.tokens = max
+		}
+		a.lastFill = now
+		if a.tokens < 1 {
+			deficit := 1 - a.tokens
+			a.mu.Unlock()
+			a.shedRate.Add(1)
+			return nil, ShedRateLimited, time.Duration(deficit / a.cfg.RatePerSec * float64(time.Second))
+		}
+		a.tokens--
+	}
+	if a.cfg.QueueDepth > 0 && a.inflight >= a.cfg.QueueDepth {
+		// The token is deliberately not refunded: a queue-full shed still
+		// consumed serving capacity, and refunding would let a stuck WAL
+		// admit an unbounded retry storm at full rate.
+		a.mu.Unlock()
+		a.shedQueue.Add(1)
+		return nil, ShedQueueFull, a.queueRetryHint()
+	}
+	a.inflight++
+	if a.inflight > a.queueHWM {
+		a.queueHWM = a.inflight
+	}
+	a.mu.Unlock()
+	return func() {
+		a.mu.Lock()
+		a.inflight--
+		a.mu.Unlock()
+	}, "", 0
+}
+
+// queueRetryHint is the Retry-After for a queue-full shed: one token
+// period when rate-limited (the queue drains at WAL speed, which the
+// bucket approximates), else a flat second.
+func (a *admission) queueRetryHint() time.Duration {
+	if a.cfg.RatePerSec > 0 {
+		return time.Duration(float64(time.Second) / a.cfg.RatePerSec)
+	}
+	return time.Second
+}
+
+// noteAccepted counts one fully admitted-and-durable rating request.
+func (a *admission) noteAccepted() {
+	if a != nil {
+		a.accepted.Add(1)
+	}
+}
+
+// snapshotAge tracks epoch advancement and returns how long the given
+// epoch has been the served one. The clock starts when an epoch is first
+// observed here, so a node that just booted is "fresh" until its first
+// bound expires without training progress.
+func (a *admission) snapshotAge(epoch int) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	if epoch != a.staleEpoch {
+		a.staleEpoch = epoch
+		a.staleSeen = now
+	}
+	return now.Sub(a.staleSeen)
+}
+
+// shedRecommend reports whether /recommend must shed the request because
+// the snapshot is stale past the configured bound, with the retry hint.
+func (a *admission) shedRecommend(epoch int) (bool, time.Duration) {
+	if a == nil || a.cfg.MaxSnapshotAge <= 0 {
+		return false, 0
+	}
+	if a.snapshotAge(epoch) <= a.cfg.MaxSnapshotAge {
+		return false, 0
+	}
+	a.shedStale.Add(1)
+	// Half the bound is the soonest a recovered trainer plausibly
+	// publishes; clamp to at least a second so clients don't hammer.
+	hint := a.cfg.MaxSnapshotAge / 2
+	if hint < time.Second {
+		hint = time.Second
+	}
+	return true, hint
+}
+
+// AdmissionMetrics is the /metrics view of the gates.
+type AdmissionMetrics struct {
+	// Accepted counts /rate requests that passed every gate and were made
+	// durable; Shed* count requests turned away with no WAL write.
+	Accepted        uint64 `json:"accepted"`
+	ShedRateLimited uint64 `json:"shed_rate_limited"`
+	ShedQueueFull   uint64 `json:"shed_queue_full"`
+	ShedStale       uint64 `json:"shed_stale"`
+	// QueueDepthHWM is the in-flight /rate high-water mark since boot.
+	QueueDepthHWM int `json:"queue_depth_hwm"`
+	// Echo of the configured knobs, so a scrape is self-describing.
+	RatePerSec   float64 `json:"rate_per_sec"`
+	Burst        int     `json:"burst"`
+	QueueDepth   int     `json:"queue_depth"`
+	MaxSnapAgeMs int64   `json:"max_snapshot_age_ms"`
+}
+
+func (a *admission) metrics() *AdmissionMetrics {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	hwm := a.queueHWM
+	a.mu.Unlock()
+	return &AdmissionMetrics{
+		Accepted:        a.accepted.Load(),
+		ShedRateLimited: a.shedRate.Load(),
+		ShedQueueFull:   a.shedQueue.Load(),
+		ShedStale:       a.shedStale.Load(),
+		QueueDepthHWM:   hwm,
+		RatePerSec:      a.cfg.RatePerSec,
+		Burst:           a.cfg.Burst,
+		QueueDepth:      a.cfg.QueueDepth,
+		MaxSnapAgeMs:    a.cfg.MaxSnapshotAge.Milliseconds(),
+	}
+}
+
+// writeShed emits the structured shed response: a Retry-After header
+// (whole seconds, rounded up, minimum 1 — the header's resolution) plus a
+// machine-readable body carrying the reason and a millisecond-precision
+// hint for clients that can pace tighter than a second.
+func writeShed(w http.ResponseWriter, status int, reason string, retryAfter time.Duration, msg string) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, map[string]any{
+		"error":          msg,
+		"reason":         reason,
+		"retry_after_ms": retryAfter.Milliseconds(),
+	})
+}

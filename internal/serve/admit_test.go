@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"rex/internal/dataset"
+	"rex/internal/mf"
+	"rex/internal/runtime"
+)
+
+// fakeClock is an injectable admission clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestAdmissionRateLimit429 walks the token bucket through a burst: the
+// burst is admitted, the next request sheds 429 with reason and
+// Retry-After, nothing shed reaches the WAL hook or the mailbox, and
+// refilled tokens admit again.
+func TestAdmissionRateLimit429(t *testing.T) {
+	clock := newFakeClock()
+	n := &fakeNode{status: &runtime.Status{}}
+	var walBatches int
+	s, err := New(Config{
+		Node: n, NumItems: 100,
+		Admission: AdmissionConfig{RatePerSec: 2, Burst: 2},
+		Now:       clock.Now,
+		OnRate:    func([]dataset.Rating) error { walBatches++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	for i := 0; i < 2; i++ {
+		if w, body := post(t, h, "/rate", `{"user":1,"item":2,"value":3}`); w.Code != http.StatusOK {
+			t.Fatalf("burst request %d: %d %v", i, w.Code, body)
+		}
+	}
+	w, body := post(t, h, "/rate", `{"user":1,"item":2,"value":3}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request: %d %v, want 429", w.Code, body)
+	}
+	if body["reason"] != ShedRateLimited {
+		t.Fatalf("shed reason %v, want %q", body["reason"], ShedRateLimited)
+	}
+	// Deficit is one full token at 2/s = 500ms: the header rounds up to
+	// the next whole second, the body keeps millisecond precision.
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", ra)
+	}
+	if ms, _ := body["retry_after_ms"].(float64); ms != 500 {
+		t.Fatalf("retry_after_ms %v, want 500 (1 token at 2/s)", body["retry_after_ms"])
+	}
+	if walBatches != 2 || len(n.ingested) != 2 {
+		t.Fatalf("shed request left a trace: %d WAL batches, %d ingested (want 2/2)", walBatches, len(n.ingested))
+	}
+
+	// Refill: 500ms buys one token.
+	clock.Advance(500 * time.Millisecond)
+	if w, body := post(t, h, "/rate", `{"user":1,"item":2,"value":3}`); w.Code != http.StatusOK {
+		t.Fatalf("post-refill request: %d %v", w.Code, body)
+	}
+	if walBatches != 3 {
+		t.Fatalf("post-refill WAL batches %d, want 3", walBatches)
+	}
+}
+
+// TestAdmissionQueueFull pins the bounded-queue path: with QueueDepth 1
+// and a request parked inside the WAL section, the next one sheds 429
+// with reason queue_full instead of queuing on the WAL lock.
+func TestAdmissionQueueFull(t *testing.T) {
+	n := &fakeNode{status: &runtime.Status{}}
+	inWAL := make(chan struct{})
+	releaseWAL := make(chan struct{})
+	s, err := New(Config{
+		Node: n, NumItems: 100,
+		Admission: AdmissionConfig{QueueDepth: 1},
+		OnRate: func() func([]dataset.Rating) error {
+			var once sync.Once
+			return func([]dataset.Rating) error {
+				first := false
+				once.Do(func() { first = true })
+				if first { // only the parked request blocks
+					close(inWAL)
+					<-releaseWAL
+				}
+				return nil
+			}
+		}(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	done := make(chan int)
+	go func() {
+		w, _ := post(t, h, "/rate", `{"user":1,"item":2,"value":3}`)
+		done <- w.Code
+	}()
+	<-inWAL // the first request holds the only queue slot
+
+	w, body := post(t, h, "/rate", `{"user":2,"item":3,"value":4}`)
+	if w.Code != http.StatusTooManyRequests || body["reason"] != ShedQueueFull {
+		t.Fatalf("queue-full request: %d %v, want 429/%q", w.Code, body, ShedQueueFull)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 without Retry-After")
+	}
+
+	close(releaseWAL)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("parked request finished %d, want 200", code)
+	}
+	// The slot is free again.
+	if w, _ := post(t, h, "/rate", `{"user":3,"item":4,"value":2}`); w.Code != http.StatusOK {
+		t.Fatalf("post-release request: %d", w.Code)
+	}
+
+	m := s.adm.metrics()
+	if m.ShedQueueFull != 1 || m.Accepted != 2 || m.QueueDepthHWM != 1 {
+		t.Fatalf("metrics %+v, want 1 queue shed, 2 accepted, hwm 1", m)
+	}
+}
+
+// TestAdmissionStaleSnapshot503: /recommend serves while the snapshot is
+// fresh, sheds 503 with reason and hint once the epoch stalls past the
+// bound, and recovers the moment a new epoch publishes.
+func TestAdmissionStaleSnapshot503(t *testing.T) {
+	clock := newFakeClock()
+	n := &fakeNode{
+		status: &runtime.Status{},
+		snap: &runtime.Snapshot{
+			Epoch: 1, Model: mf.New(mf.DefaultConfig()),
+			Ratings: []dataset.Rating{{User: 1, Item: 2, Value: 3}},
+		},
+	}
+	s, err := New(Config{
+		Node: n, NumItems: 10,
+		Admission: AdmissionConfig{MaxSnapshotAge: 10 * time.Second},
+		Now:       clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	if w, _ := get(t, h, "/recommend?user=1&n=2"); w.Code != http.StatusOK {
+		t.Fatalf("fresh snapshot: %d", w.Code)
+	}
+	clock.Advance(9 * time.Second)
+	if w, _ := get(t, h, "/recommend?user=1&n=2"); w.Code != http.StatusOK {
+		t.Fatalf("inside bound: %d", w.Code)
+	}
+	clock.Advance(2 * time.Second) // 11s since epoch 1 first seen
+	w, body := get(t, h, "/recommend?user=1&n=2")
+	if w.Code != http.StatusServiceUnavailable || body["reason"] != ShedStale {
+		t.Fatalf("stale snapshot: %d %v, want 503/%q", w.Code, body, ShedStale)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("stale 503 without Retry-After")
+	}
+	if ms, _ := body["retry_after_ms"].(float64); ms != 5000 {
+		t.Fatalf("retry_after_ms %v, want 5000 (half the bound)", body["retry_after_ms"])
+	}
+
+	// Training resumes: a new epoch resets the staleness clock.
+	n.snap = &runtime.Snapshot{
+		Epoch: 2, Model: n.snap.Model, Ratings: n.snap.Ratings,
+	}
+	if w, _ := get(t, h, "/recommend?user=1&n=2"); w.Code != http.StatusOK {
+		t.Fatalf("after epoch advance: %d", w.Code)
+	}
+
+	m := s.adm.metrics()
+	if m.ShedStale != 1 {
+		t.Fatalf("metrics %+v, want 1 stale shed", m)
+	}
+}
+
+// TestAdmissionMetricsInScrape: the admission block rides /metrics with
+// counters and config echo; without any gate configured it is absent.
+func TestAdmissionMetricsInScrape(t *testing.T) {
+	clock := newFakeClock()
+	n := &fakeNode{status: &runtime.Status{}}
+	s, err := New(Config{
+		Node: n, NumItems: 100,
+		Admission: AdmissionConfig{RatePerSec: 1, Burst: 1, QueueDepth: 8},
+		Now:       clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	post(t, h, "/rate", `{"user":1,"item":2,"value":3}`) // accepted
+	post(t, h, "/rate", `{"user":1,"item":2,"value":3}`) // rate shed
+
+	var resp MetricsResponse
+	w, _ := get(t, h, "/metrics")
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	a := resp.Admission
+	if a == nil {
+		t.Fatal("no admission block in /metrics")
+	}
+	if a.Accepted != 1 || a.ShedRateLimited != 1 || a.QueueDepth != 8 || a.RatePerSec != 1 {
+		t.Fatalf("admission metrics %+v", a)
+	}
+
+	// No gates configured: the block must be omitted, and /rate must be
+	// completely ungated.
+	s2, err := New(Config{Node: n, NumItems: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if w, _ := post(t, s2.Handler(), "/rate", `{"user":1,"item":2,"value":3}`); w.Code != http.StatusOK {
+			t.Fatalf("ungated request %d: %d", i, w.Code)
+		}
+	}
+	w, _ = get(t, s2.Handler(), "/metrics")
+	var resp2 MetricsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Admission != nil {
+		t.Fatalf("admission block present with no gates: %+v", resp2.Admission)
+	}
+}

@@ -79,12 +79,19 @@ type Config struct {
 	// daemon records per-epoch pipeline stage durations (train, merge,
 	// seal, wire, ...) into it.
 	Stages *metrics.StageSet
+	// Admission configures overload protection on the serving edge
+	// (token-bucket + bounded queue on /rate, staleness shed on
+	// /recommend). The zero value disables every gate.
+	Admission AdmissionConfig
+	// Now overrides the admission clock; nil = time.Now. Tests only.
+	Now func() time.Time
 }
 
 // Server serves the HTTP API.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
+	adm   *admission                // nil when no gate is configured
 	stats map[string]*endpointStats // keyed by endpoint name, fixed at New
 
 	// Per-snapshot caches, rebuilt when the served epoch advances. The
@@ -131,6 +138,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.KNN = knn.DefaultConfig()
 	}
 	s := &Server{cfg: cfg, cacheEp: -1, mux: http.NewServeMux(), stats: make(map[string]*endpointStats)}
+	if cfg.Admission.Enabled() {
+		s.adm = newAdmission(cfg.Admission, cfg.Now)
+	}
 	s.mux.HandleFunc("GET /recommend", s.instrument("recommend", s.handleRecommend))
 	s.mux.HandleFunc("POST /rate", s.instrument("rate", s.handleRate))
 	s.mux.HandleFunc("GET /status", s.instrument("status", s.handleStatus))
@@ -225,6 +235,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "no model snapshot yet; still training epoch 0")
 		return
 	}
+	if shed, retry := s.adm.shedRecommend(snap.Epoch); shed {
+		writeShed(w, http.StatusServiceUnavailable, ShedStale, retry,
+			fmt.Sprintf("snapshot epoch %d is stale past the %s serving bound; training is not advancing here — retry later or on another replica",
+				snap.Epoch, s.cfg.Admission.MaxSnapshotAge))
+		return
+	}
 	q := r.URL.Query()
 	user, err := strconv.ParseUint(q.Get("user"), 10, 32)
 	if err != nil {
@@ -298,6 +314,17 @@ func validateRating(i int, b Rating, numItems int) error {
 }
 
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	// Admission runs before the body is even parsed: an over-limit request
+	// must cost the node as close to nothing as possible, and must never
+	// reach the WAL. The release covers the full parse+WAL+ingest section,
+	// so QueueDepth bounds real handler concurrency, not just the append.
+	release, reason, retryAfter := s.adm.admitRate()
+	if release == nil {
+		writeShed(w, http.StatusTooManyRequests, reason, retryAfter,
+			"rating shed by admission control ("+reason+"); nothing was written — safe to retry after the hint")
+		return
+	}
+	defer release()
 	dec := json.NewDecoder(r.Body)
 	var batch []Rating
 	// Accept a single object or an array.
@@ -339,6 +366,7 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.adm.noteAccepted()
 	writeJSON(w, http.StatusOK, map[string]int{"accepted": s.cfg.Node.Ingest(rs)})
 }
 
@@ -406,6 +434,10 @@ type EndpointMetrics struct {
 type MetricsResponse struct {
 	Endpoints map[string]EndpointMetrics       `json:"endpoints"`
 	Stages    map[string]*metrics.HistSnapshot `json:"stages,omitempty"`
+	// Admission carries the overload-protection counters when any gate is
+	// configured: accepted vs shed (by reason) and the in-flight queue's
+	// high-water mark.
+	Admission *AdmissionMetrics `json:"admission,omitempty"`
 }
 
 func endpointMetricsFrom(es *endpointStats) EndpointMetrics {
@@ -436,6 +468,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Stages != nil {
 		resp.Stages = s.cfg.Stages.Snapshot()
 	}
+	resp.Admission = s.adm.metrics()
 	writeJSON(w, http.StatusOK, resp)
 }
 
